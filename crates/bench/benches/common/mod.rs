@@ -1,0 +1,32 @@
+//! Shared helpers for the Criterion benches: tiny-scale datasets (built
+//! once per process) and the paper's default miner configurations.
+//!
+//! Benches use `Scale::Tiny` so that the whole suite completes in
+//! minutes; the `repro` binary runs the same drivers at full scale.
+#![allow(dead_code)]
+
+use std::time::Duration;
+
+use pfcim_bench::datasets::{abs_min_sup, DatasetKind, Scale};
+use pfcim_core::{FcpMethod, MinerConfig};
+use utdb::UncertainDatabase;
+
+pub fn mushroom() -> UncertainDatabase {
+    DatasetKind::Mushroom.uncertain(Scale::Tiny, 42)
+}
+
+pub fn quest() -> UncertainDatabase {
+    DatasetKind::Quest.uncertain(Scale::Tiny, 42)
+}
+
+/// Paper-default config (ApproxFCP checking) at a relative support.
+pub fn paper_cfg(db: &UncertainDatabase, rel: f64, pfct: f64) -> MinerConfig {
+    MinerConfig::new(abs_min_sup(db, rel), pfct).with_fcp_method(FcpMethod::ApproxOnly)
+}
+
+/// Tighten a Criterion group so the whole suite stays fast.
+pub fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+}

@@ -1,0 +1,36 @@
+//! Fig. 10 — the four miners behind the compression study: FI (FP-growth)
+//! and FCI (closed) on exact data, PFI and PFCI on uncertain data.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfcim_bench::datasets::{abs_min_sup, DatasetKind, Scale};
+use pfcim_core::{mine, MinerConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let certain = DatasetKind::Mushroom.certain(Scale::Tiny, 42);
+    let db = DatasetKind::Mushroom.uncertain_with(Scale::Tiny, 42, 0.8, 0.1);
+    let rel = 0.25;
+    let ms_exact = abs_min_sup(&certain, rel);
+    let ms = abs_min_sup(&db, rel);
+
+    let mut group = c.benchmark_group("fig10/mushroom");
+    common::tune(&mut group);
+    group.bench_function("FI_fpgrowth", |b| {
+        b.iter(|| black_box(fim::frequent_itemsets_fpgrowth(&certain, ms_exact)))
+    });
+    group.bench_function("FCI_closed", |b| {
+        b.iter(|| black_box(fim::frequent_closed_itemsets(&certain, ms_exact)))
+    });
+    group.bench_function("PFI_todis", |b| {
+        b.iter(|| black_box(pfim::probabilistic_frequent_itemsets(&db, ms, 0.8)))
+    });
+    group.bench_function("PFCI_mpfci", |b| {
+        b.iter(|| black_box(mine(&db, &MinerConfig::new(ms, 0.8))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

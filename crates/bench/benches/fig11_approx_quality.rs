@@ -1,0 +1,44 @@
+//! Fig. 11 — the cost of the `ApproxFCP` estimator as ε/δ tighten, on a
+//! single representative event family (quality itself is asserted by the
+//! test suites; this bench tracks the sampling cost curve).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfcim_core::{approx_fcp, NonClosureEvents};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use utdb::Item;
+
+fn bench(c: &mut Criterion) {
+    let db = common::quest();
+    // A two-item prefix with a real event family.
+    let x = vec![Item(0), Item(1)];
+    let tids = db.tidset_of_itemset(&x);
+    let min_sup = db.len() / 5;
+    let ext = (0..db.num_items() as u32)
+        .map(Item)
+        .filter(|i| !x.contains(i));
+    let events = NonClosureEvents::build(&db, &tids, ext, min_sup);
+    let pr_f = pfim::frequent_probability(&db, &x, min_sup);
+
+    let mut group = c.benchmark_group("fig11/approx_fcp");
+    common::tune(&mut group);
+    for eps in [0.1, 0.2, 0.3] {
+        group.bench_with_input(BenchmarkId::new("epsilon", eps), &eps, |b, &eps| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            b.iter(|| black_box(approx_fcp(&events, pr_f, eps, 0.1, &mut rng)))
+        });
+    }
+    for delta in [0.05, 0.1, 0.3] {
+        group.bench_with_input(BenchmarkId::new("delta", delta), &delta, |b, &delta| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            b.iter(|| black_box(approx_fcp(&events, pr_f, 0.3, delta, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

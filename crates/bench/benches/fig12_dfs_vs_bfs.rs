@@ -1,0 +1,26 @@
+//! Fig. 12 — depth-first vs breadth-first enumeration frameworks.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfcim_core::{mine, Variant};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for (name, db) in [("mushroom", common::mushroom()), ("quest", common::quest())] {
+        let mut group = c.benchmark_group(format!("fig12/{name}"));
+        common::tune(&mut group);
+        for rel in [0.25, 0.35] {
+            for variant in [Variant::Mpfci, Variant::Bfs] {
+                let cfg = common::paper_cfg(&db, rel, 0.8).with_variant(variant);
+                group.bench_with_input(BenchmarkId::new(variant.name(), rel), &rel, |b, _| {
+                    b.iter(|| black_box(mine(&db, &cfg)))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

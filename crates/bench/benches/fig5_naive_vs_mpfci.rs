@@ -1,0 +1,28 @@
+//! Fig. 5 — Naive (check every PFI with `ApproxFCP`) vs MPFCI, runtime
+//! as `min_sup` varies on both datasets.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfcim_core::{mine, mine_naive};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for (name, db) in [("mushroom", common::mushroom()), ("quest", common::quest())] {
+        let mut group = c.benchmark_group(format!("fig5/{name}"));
+        common::tune(&mut group);
+        for rel in [0.3, 0.4] {
+            let cfg = common::paper_cfg(&db, rel, 0.8);
+            group.bench_with_input(BenchmarkId::new("naive", rel), &rel, |b, _| {
+                b.iter(|| black_box(mine_naive(&db, &cfg)))
+            });
+            group.bench_with_input(BenchmarkId::new("mpfci", rel), &rel, |b, _| {
+                b.iter(|| black_box(mine(&db, &cfg)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 7 — runtime vs the probabilistic frequent closed threshold.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfcim_core::mine;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for (name, db, rel) in [
+        ("mushroom", common::mushroom(), 0.35),
+        ("quest", common::quest(), 0.3),
+    ] {
+        let mut group = c.benchmark_group(format!("fig7/{name}"));
+        common::tune(&mut group);
+        for pfct in [0.5, 0.7, 0.9] {
+            let cfg = common::paper_cfg(&db, rel, pfct);
+            group.bench_with_input(BenchmarkId::new("mpfci", pfct), &pfct, |b, _| {
+                b.iter(|| black_box(mine(&db, &cfg)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 8 — runtime vs the relative tolerance ε. Only `MPFCI-NoBound`
+//! (which must run `ApproxFCP` on every surviving itemset) responds.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfcim_core::{mine, Variant};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let db = common::mushroom();
+    let mut group = c.benchmark_group("fig8/mushroom");
+    common::tune(&mut group);
+    for eps in [0.15, 0.2, 0.3] {
+        for variant in [Variant::Mpfci, Variant::NoBound] {
+            let cfg = common::paper_cfg(&db, 0.3, 0.8)
+                .with_variant(variant)
+                .with_approximation(eps, 0.1);
+            group.bench_with_input(BenchmarkId::new(variant.name(), eps), &eps, |b, _| {
+                b.iter(|| black_box(mine(&db, &cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 9 — runtime vs the confidence parameter δ; the ln(2/δ) sample
+//! factor makes this gentler than ε (the paper's observation).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfcim_core::{mine, Variant};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let db = common::mushroom();
+    let mut group = c.benchmark_group("fig9/mushroom");
+    common::tune(&mut group);
+    for delta in [0.05, 0.1, 0.3] {
+        for variant in [Variant::Mpfci, Variant::NoBound] {
+            let cfg = common::paper_cfg(&db, 0.3, 0.8)
+                .with_variant(variant)
+                .with_approximation(0.2, delta);
+            group.bench_with_input(BenchmarkId::new(variant.name(), delta), &delta, |b, _| {
+                b.iter(|| black_box(mine(&db, &cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

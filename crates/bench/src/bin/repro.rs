@@ -1,0 +1,121 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [EXPERIMENTS...] [--scale tiny|laptop|paper] [--budget SECONDS] [--out DIR]
+//!
+//! EXPERIMENTS: all (default), fig5, fig6, fig7, fig8, fig9, fig10,
+//!              fig11, fig12, table7, table8
+//! ```
+//!
+//! Results are printed as aligned tables and archived as CSV under the
+//! output directory (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use pfcim_bench::experiments::{self, DEFAULT_CELL_BUDGET};
+use pfcim_bench::report::Table;
+use pfcim_bench::Scale;
+
+struct Args {
+    experiments: Vec<String>,
+    scale: Scale,
+    budget: Duration,
+    out: PathBuf,
+}
+
+const ALL_EXPERIMENTS: [&str; 10] = [
+    "table7", "table8", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+];
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments = Vec::new();
+    let mut scale = Scale::Laptop;
+    let mut budget = DEFAULT_CELL_BUDGET;
+    let mut out = PathBuf::from("results");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = argv.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&v).ok_or(format!("unknown scale {v:?}"))?;
+            }
+            "--budget" => {
+                let v = argv.next().ok_or("--budget needs a value")?;
+                let s: u64 = v.parse().map_err(|_| format!("bad budget {v:?}"))?;
+                budget = Duration::from_secs(s);
+            }
+            "--out" => {
+                out = PathBuf::from(argv.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            "all" => experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            name if ALL_EXPERIMENTS.contains(&name) => experiments.push(name.to_owned()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    Ok(Args {
+        experiments,
+        scale,
+        budget,
+        out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: repro [EXPERIMENTS...] [--scale tiny|laptop|paper] \
+                 [--budget SECONDS] [--out DIR]\nEXPERIMENTS: all {}",
+                ALL_EXPERIMENTS.join(" ")
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "# pfcim repro — scale={:?}, per-cell budget={}s, out={}",
+        args.scale,
+        args.budget.as_secs(),
+        args.out.display()
+    );
+
+    for name in &args.experiments {
+        let start = Instant::now();
+        let tables: Vec<Table> = match name.as_str() {
+            "table7" => vec![experiments::table7()],
+            "table8" => vec![experiments::table8(args.scale)],
+            "fig5" => experiments::fig5(args.scale, args.budget),
+            "fig6" => experiments::fig6(args.scale, args.budget),
+            "fig7" => experiments::fig7(args.scale, args.budget),
+            "fig8" => experiments::fig8(args.scale, args.budget),
+            "fig9" => experiments::fig9(args.scale, args.budget),
+            "fig10" => experiments::fig10(args.scale, args.budget),
+            "fig11" => experiments::fig11(args.scale, args.budget),
+            "fig12" => experiments::fig12(args.scale, args.budget),
+            _ => unreachable!("validated in parse_args"),
+        };
+        for (i, table) in tables.iter().enumerate() {
+            println!("\n{}", table.to_text());
+            let slug = if tables.len() == 1 {
+                name.clone()
+            } else {
+                format!("{name}_{}", (b'a' + i as u8) as char)
+            };
+            if let Err(e) = table.write_csv(&args.out, &slug) {
+                eprintln!("warning: could not write {slug}.csv: {e}");
+            }
+        }
+        println!("[{name} finished in {:.1}s]", start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

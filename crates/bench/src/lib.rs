@@ -1,0 +1,19 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Section V).
+//!
+//! The [`datasets`] module builds the two evaluation datasets at a
+//! configurable scale; [`experiments`] contains one driver per figure
+//! (Fig. 5 through Fig. 12) plus the tables; [`report`] renders rows as
+//! aligned text and CSV. The `repro` binary wires everything to a CLI,
+//! and the Criterion benches under `benches/` wrap the same drivers at
+//! reduced scale.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+
+pub use datasets::{DatasetKind, Scale};
+pub use report::Table;

@@ -1,0 +1,291 @@
+//! Miner configuration and the algorithm variants of the paper's
+//! experimental study (Table VII).
+
+/// Which prunings are active — toggling these produces the ablation
+/// variants `MPFCI-NoCH`, `MPFCI-NoSuper`, `MPFCI-NoSub`, `MPFCI-NoBound`.
+///
+/// Every pruning is *sound*: switching any of them off never changes the
+/// mined result set, only the amount of work (the integration tests
+/// enforce this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruningConfig {
+    /// Chernoff–Hoeffding bound pruning of probabilistically infrequent
+    /// candidates (Lemma 4.1).
+    pub chernoff_hoeffding: bool,
+    /// Superset pruning on pre-item tid-set containment (Lemma 4.2).
+    pub superset: bool,
+    /// Subset pruning on count-equal extensions (Lemma 4.3).
+    pub subset: bool,
+    /// Frequent-closed-probability bound pruning (Lemma 4.4).
+    pub probability_bounds: bool,
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        Self {
+            chernoff_hoeffding: true,
+            superset: true,
+            subset: true,
+            probability_bounds: true,
+        }
+    }
+}
+
+/// Search strategy of the enumeration framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Depth-first search (the paper's `ProbFC`, Fig. 3).
+    #[default]
+    Dfs,
+    /// Breadth-first (level-wise) search — `MPFCI-BFS` in Section V.D.
+    /// Superset/subset prunings do not apply level-wise and are ignored.
+    Bfs,
+}
+
+/// How the frequent closed probability of a surviving itemset is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FcpMethod {
+    /// Exact inclusion–exclusion when the itemset has at most this many
+    /// co-occurring extension items, Monte-Carlo `ApproxFCP` otherwise.
+    Auto {
+        /// Fan-out cap for the exact path (`2^cap` joint evaluations).
+        exact_cap: usize,
+    },
+    /// Always sample (`ApproxFCP`, Fig. 2) — used by the approximation-
+    /// quality experiment (Fig. 11).
+    ApproxOnly,
+    /// Always sample, but with the Dagum–Karp–Luby–Ross *stopping rule*:
+    /// the sample count adapts to the unknown union probability instead
+    /// of paying the fixed `4k·ln(2/δ)/ε²` worst case. Same `(ε, δ)`
+    /// guarantee whenever the estimator converges within the fixed-`N`
+    /// budget (which also serves as its cap).
+    ApproxAdaptive,
+    /// Always inclusion–exclusion; panics past
+    /// [`prob::inclusion_exclusion::MAX_EXACT_EVENTS`] events. Intended
+    /// for tests and ground-truth generation on small data.
+    ExactOnly,
+}
+
+impl Default for FcpMethod {
+    fn default() -> Self {
+        FcpMethod::Auto { exact_cap: 8 }
+    }
+}
+
+/// Full miner configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinerConfig {
+    /// Minimum support threshold (absolute count, ≥ 1).
+    pub min_sup: usize,
+    /// Probabilistic frequent closed threshold in `[0, 1)`.
+    pub pfct: f64,
+    /// Relative tolerance of `ApproxFCP` (paper default 0.1).
+    pub epsilon: f64,
+    /// Confidence parameter of `ApproxFCP` (paper default 0.1, i.e.
+    /// confidence `1 − δ = 0.9`).
+    pub delta: f64,
+    /// Active prunings.
+    pub pruning: PruningConfig,
+    /// Enumeration order.
+    pub search: SearchStrategy,
+    /// Probability-computation policy.
+    pub fcp_method: FcpMethod,
+    /// At most this many (highest-probability) non-closure events enter
+    /// the `O(m²)` pairwise bound computation; the rest contribute their
+    /// total mass to the upper bound soundly.
+    pub max_pairwise_events: usize,
+    /// Seed of the deterministic RNG driving `ApproxFCP`.
+    pub seed: u64,
+    /// Optional wall-clock budget; when exceeded the miner stops early
+    /// and flags the outcome as timed out (used by the benchmark harness
+    /// to reproduce the paper's "longer than one hour" cells).
+    pub time_budget: Option<std::time::Duration>,
+}
+
+impl MinerConfig {
+    /// The paper's default parameterization: `ε = δ = 0.1`, all prunings
+    /// on, depth-first search.
+    pub fn new(min_sup: usize, pfct: f64) -> Self {
+        Self {
+            min_sup: min_sup.max(1),
+            pfct,
+            epsilon: 0.1,
+            delta: 0.1,
+            pruning: PruningConfig::default(),
+            search: SearchStrategy::Dfs,
+            fcp_method: FcpMethod::default(),
+            max_pairwise_events: 48,
+            seed: 0x05ee_dfc1,
+            time_budget: None,
+        }
+    }
+
+    /// Set `ε` and `δ`.
+    pub fn with_approximation(mut self, epsilon: f64, delta: f64) -> Self {
+        self.epsilon = epsilon;
+        self.delta = delta;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the probability-computation policy.
+    pub fn with_fcp_method(mut self, method: FcpMethod) -> Self {
+        self.fcp_method = method;
+        self
+    }
+
+    /// Set a wall-clock budget after which the miner aborts (the outcome
+    /// is then marked [`crate::MiningOutcome::timed_out`]).
+    pub fn with_time_budget(mut self, budget: std::time::Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Apply an experimental variant (Table VII).
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        match variant {
+            Variant::Mpfci => {}
+            Variant::NoCh => self.pruning.chernoff_hoeffding = false,
+            Variant::NoSuper => self.pruning.superset = false,
+            Variant::NoSub => self.pruning.subset = false,
+            Variant::NoBound => self.pruning.probability_bounds = false,
+            Variant::Bfs => {
+                self.search = SearchStrategy::Bfs;
+                self.pruning.superset = false;
+                self.pruning.subset = false;
+            }
+        }
+        self
+    }
+
+    /// Validate invariants; called by the miners at entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range thresholds.
+    pub fn validate(&self) {
+        assert!(self.min_sup >= 1, "min_sup must be at least 1");
+        assert!((0.0..1.0).contains(&self.pfct), "pfct must lie in [0, 1)");
+        assert!(self.epsilon > 0.0, "epsilon must be positive");
+        assert!(
+            self.delta > 0.0 && self.delta < 1.0,
+            "delta must lie in (0, 1)"
+        );
+    }
+}
+
+/// The six algorithm variants compared in the paper's Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// All prunings, depth-first search.
+    Mpfci,
+    /// Without Chernoff–Hoeffding pruning.
+    NoCh,
+    /// Without superset pruning.
+    NoSuper,
+    /// Without subset pruning.
+    NoSub,
+    /// Without probability-bound pruning.
+    NoBound,
+    /// Breadth-first framework (CH + probability bounds only).
+    Bfs,
+}
+
+impl Variant {
+    /// All variants in the paper's table order.
+    pub const ALL: [Variant; 6] = [
+        Variant::Mpfci,
+        Variant::NoCh,
+        Variant::NoSuper,
+        Variant::NoSub,
+        Variant::NoBound,
+        Variant::Bfs,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Mpfci => "MPFCI",
+            Variant::NoCh => "MPFCI-NoCH",
+            Variant::NoSuper => "MPFCI-NoSuper",
+            Variant::NoSub => "MPFCI-NoSub",
+            Variant::NoBound => "MPFCI-NoBound",
+            Variant::Bfs => "MPFCI-BFS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_defaults() {
+        let c = MinerConfig::new(2, 0.8);
+        assert_eq!(c.epsilon, 0.1);
+        assert_eq!(c.delta, 0.1);
+        assert_eq!(c.search, SearchStrategy::Dfs);
+        assert!(c.pruning.chernoff_hoeffding);
+        assert!(c.pruning.superset);
+        assert!(c.pruning.subset);
+        assert!(c.pruning.probability_bounds);
+        c.validate();
+    }
+
+    #[test]
+    fn variants_toggle_the_right_flags() {
+        let base = MinerConfig::new(2, 0.8);
+        assert!(
+            !base
+                .clone()
+                .with_variant(Variant::NoCh)
+                .pruning
+                .chernoff_hoeffding
+        );
+        assert!(!base.clone().with_variant(Variant::NoSuper).pruning.superset);
+        assert!(!base.clone().with_variant(Variant::NoSub).pruning.subset);
+        assert!(
+            !base
+                .clone()
+                .with_variant(Variant::NoBound)
+                .pruning
+                .probability_bounds
+        );
+        let bfs = base.with_variant(Variant::Bfs);
+        assert_eq!(bfs.search, SearchStrategy::Bfs);
+        assert!(!bfs.pruning.superset && !bfs.pruning.subset);
+        assert!(bfs.pruning.chernoff_hoeffding && bfs.pruning.probability_bounds);
+    }
+
+    #[test]
+    fn min_sup_zero_is_lifted_to_one() {
+        assert_eq!(MinerConfig::new(0, 0.5).min_sup, 1);
+    }
+
+    #[test]
+    fn variant_names_match_table_vii() {
+        let names: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "MPFCI",
+                "MPFCI-NoCH",
+                "MPFCI-NoSuper",
+                "MPFCI-NoSub",
+                "MPFCI-NoBound",
+                "MPFCI-BFS"
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pfct")]
+    fn validate_rejects_pfct_one() {
+        MinerConfig::new(2, 1.0).validate();
+    }
+}

@@ -1,0 +1,128 @@
+//! Shared per-itemset evaluation: bounds, then exact or sampled FCP.
+//!
+//! Both search frameworks (DFS and BFS) and the Naive baseline funnel
+//! surviving itemsets through this checking phase — the "Bounding" and
+//! "Checking" stages of the paper's Bounding–Pruning–Checking framework.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use utdb::{Item, TidSet, UncertainDatabase};
+
+use crate::config::{FcpMethod, MinerConfig};
+use crate::events::NonClosureEvents;
+use crate::fcp::{approx_fcp, approx_fcp_adaptive};
+use crate::result::Pfci;
+use crate::stats::MinerStats;
+
+/// Bounds intervals narrower than this are treated as decided without a
+/// full FCP computation (the paper's "upper bound equals lower bound").
+const DECIDED_WIDTH: f64 = 1e-6;
+
+pub(crate) struct Evaluator<'a> {
+    pub db: &'a UncertainDatabase,
+    pub cfg: &'a MinerConfig,
+    pub rng: SmallRng,
+    pub stats: MinerStats,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(db: &'a UncertainDatabase, cfg: &'a MinerConfig) -> Self {
+        Self {
+            db,
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            stats: MinerStats::default(),
+        }
+    }
+
+    /// Build the non-closure event family of `items` over every other item
+    /// in the database.
+    pub fn events_for(&self, items: &[Item], tids: &TidSet) -> NonClosureEvents {
+        let ext = (0..self.db.num_items() as u32)
+            .map(Item)
+            .filter(|i| items.binary_search(i).is_err());
+        NonClosureEvents::build(self.db, tids, ext, self.cfg.min_sup)
+    }
+
+    /// Full checking phase for an itemset that survived all prunings:
+    /// returns `Some(Pfci)` when its frequent closed probability exceeds
+    /// `pfct`.
+    pub fn evaluate(&mut self, items: &[Item], tids: &TidSet, pr_f: f64) -> Option<Pfci> {
+        let events = self.events_for(items, tids);
+        let (lo, hi) = if self.cfg.pruning.probability_bounds {
+            let (lo, hi) =
+                events.fcp_bounds(pr_f, self.cfg.max_pairwise_events, Some(self.cfg.pfct));
+            if hi <= self.cfg.pfct {
+                self.stats.bound_rejected += 1;
+                return None;
+            }
+            if lo > self.cfg.pfct && hi - lo < DECIDED_WIDTH {
+                self.stats.bound_decided += 1;
+                return Some(self.pfci(items, (lo + hi) / 2.0, pr_f));
+            }
+            (lo, hi)
+        } else {
+            (0.0, pr_f)
+        };
+        let fcp = self.compute_fcp(&events, pr_f).clamp(lo, hi);
+        (fcp > self.cfg.pfct).then(|| self.pfci(items, fcp, pr_f))
+    }
+
+    /// Naive checking (the paper's "Naive" baseline): always run
+    /// `ApproxFCP`, no bounds.
+    pub fn evaluate_naive(&mut self, items: &[Item], tids: &TidSet, pr_f: f64) -> Option<Pfci> {
+        let events = self.events_for(items, tids);
+        let r = approx_fcp(
+            &events,
+            pr_f,
+            self.cfg.epsilon,
+            self.cfg.delta,
+            &mut self.rng,
+        );
+        self.stats.fcp_sampled += 1;
+        self.stats.samples_drawn += r.samples as u64;
+        (r.fcp > self.cfg.pfct).then(|| self.pfci(items, r.fcp, pr_f))
+    }
+
+    fn compute_fcp(&mut self, events: &NonClosureEvents, pr_f: f64) -> f64 {
+        let use_exact = match self.cfg.fcp_method {
+            FcpMethod::ExactOnly => true,
+            FcpMethod::ApproxOnly | FcpMethod::ApproxAdaptive => false,
+            FcpMethod::Auto { exact_cap } => events.len() <= exact_cap,
+        };
+        if use_exact {
+            self.stats.fcp_exact += 1;
+            let union = prob::exact_union_probability(events.len(), |s| events.joint(s));
+            (pr_f - union).clamp(0.0, pr_f)
+        } else {
+            let r = if matches!(self.cfg.fcp_method, FcpMethod::ApproxAdaptive) {
+                approx_fcp_adaptive(
+                    events,
+                    pr_f,
+                    self.cfg.epsilon,
+                    self.cfg.delta,
+                    &mut self.rng,
+                )
+            } else {
+                approx_fcp(
+                    events,
+                    pr_f,
+                    self.cfg.epsilon,
+                    self.cfg.delta,
+                    &mut self.rng,
+                )
+            };
+            self.stats.fcp_sampled += 1;
+            self.stats.samples_drawn += r.samples as u64;
+            r.fcp
+        }
+    }
+
+    fn pfci(&self, items: &[Item], fcp: f64, pr_f: f64) -> Pfci {
+        Pfci {
+            items: items.to_vec(),
+            fcp,
+            frequent_probability: pr_f,
+        }
+    }
+}

@@ -1,0 +1,622 @@
+//! The family of *frequent non-closure events* of an itemset.
+//!
+//! For an itemset `X` with supporting tuples `T(X)` and a co-occurring
+//! item `e ∉ X`, the event (Definition 4.1)
+//!
+//! ```text
+//! C_e  =  "every tuple of T(X) \ T(X∪e) is absent"  ∧
+//!         "at least min_sup tuples of T(X∪e) are present"
+//! ```
+//!
+//! says that `X` is frequent but its support is matched by the superset
+//! `X∪e`. The frequent non-closed probability is `Pr(∪_e C_e)` and
+//!
+//! ```text
+//! Pr_FC(X) = Pr_F(X) − Pr(∪_e C_e).
+//! ```
+//!
+//! Because the two conjuncts of `C_e` touch disjoint tuples,
+//!
+//! ```text
+//! Pr(∧_{e∈S} C_e) = Π_{t ∈ T(X)\T(X∪S)} (1 − p_t) · Pr{ sup(X∪S) ≥ min_sup },
+//! ```
+//!
+//! which yields singleton/pairwise probabilities for the Lemma 4.4 bounds,
+//! arbitrary joints for exact inclusion–exclusion, and conditional world
+//! samplers for the Karp–Luby `ApproxFCP` estimator. Only the tuples of
+//! `T(X)` matter — every event is measurable with respect to them — so all
+//! computation happens over `k = |T(X)|` *positions*, not the whole
+//! database.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use prob::cond_sample::ConditionalBernoulliSampler;
+use prob::dnf::UnionEventSystem;
+use prob::poisson_binomial::tail_at_least_with;
+use prob::union_bounds::PairwiseUnionBounds;
+use rand::{Rng, RngExt};
+use utdb::{Item, TidSet, UncertainDatabase};
+
+/// One non-closure event `C_e`.
+#[derive(Debug, Clone)]
+struct NcEvent {
+    /// The extension item.
+    item: Item,
+    /// Positions of `T(X∪e)` within `T(X)` (universe `k`).
+    mask: TidSet,
+    /// Existential probabilities at the mask positions, ascending.
+    mask_probs: Vec<f64>,
+    /// `Pr(C_e)`: the absence factor `Π_{p ∉ mask} (1 − probs[p])`
+    /// times `Pr{ sup(X∪e) ≥ min_sup }`.
+    prob: f64,
+}
+
+/// The complete family of non-closure events of one itemset.
+pub struct NonClosureEvents {
+    /// Existential probabilities of `T(X)`, position-indexed.
+    probs: Vec<f64>,
+    min_sup: usize,
+    /// Events with strictly positive probability (zero-probability events
+    /// contribute nothing to any union, joint, bound or sample).
+    events: Vec<NcEvent>,
+    /// Total `Pr(C_e)` mass of the events (kept for diagnostics).
+    total_mass: f64,
+    /// Extension items examined at construction — the paper's
+    /// `k = m − |X|`, which sizes the `ApproxFCP` sample budget.
+    considered: usize,
+    /// Lazily built conditional samplers, one per event.
+    samplers: RefCell<Vec<Option<Rc<ConditionalBernoulliSampler>>>>,
+    /// Scratch for joint computations.
+    scratch: RefCell<JointScratch>,
+}
+
+#[derive(Default)]
+struct JointScratch {
+    probs: Vec<f64>,
+    dp: Vec<f64>,
+    mask: Option<TidSet>,
+}
+
+impl NonClosureEvents {
+    /// Build the event family for the itemset with supporting tuples
+    /// `x_tids`, considering `extension_items` (every item `e ∉ X`; items
+    /// not co-occurring with `X` are skipped automatically since their
+    /// event has probability 0 for `min_sup ≥ 1`).
+    pub fn build(
+        db: &UncertainDatabase,
+        x_tids: &TidSet,
+        extension_items: impl IntoIterator<Item = Item>,
+        min_sup: usize,
+    ) -> Self {
+        let min_sup = min_sup.max(1);
+        let positions: Vec<usize> = x_tids.iter().collect();
+        let k = positions.len();
+        let probs: Vec<f64> = positions.iter().map(|&tid| db.probability(tid)).collect();
+        let mut dp_scratch = vec![0.0f64; min_sup + 1];
+
+        let mut events = Vec::new();
+        let mut total_mass = 0.0;
+        let mut considered = 0usize;
+        for item in extension_items {
+            considered += 1;
+            let item_tids = db.tidset_of(item);
+            let mut mask = TidSet::new(k);
+            let mut mask_probs = Vec::new();
+            let mut absent_factor = 1.0f64;
+            for (pos, &tid) in positions.iter().enumerate() {
+                if item_tids.contains(tid) {
+                    mask.insert(pos);
+                    mask_probs.push(probs[pos]);
+                } else {
+                    absent_factor *= 1.0 - probs[pos];
+                }
+            }
+            if mask_probs.len() < min_sup || absent_factor == 0.0 {
+                continue; // Pr(C_e) = 0
+            }
+            let tail = tail_at_least_with(&mask_probs, min_sup, &mut dp_scratch);
+            let prob = absent_factor * tail;
+            if prob <= 0.0 {
+                continue;
+            }
+            total_mass += prob;
+            events.push(NcEvent {
+                item,
+                mask,
+                mask_probs,
+                prob,
+            });
+        }
+        let samplers = RefCell::new(vec![None; events.len()]);
+        Self {
+            probs,
+            min_sup,
+            events,
+            total_mass,
+            considered,
+            samplers,
+            scratch: RefCell::new(JointScratch::default()),
+        }
+    }
+
+    /// Number of extension items examined at construction (the paper's
+    /// `k = m − |X|`); at least the number of retained events.
+    pub fn considered_items(&self) -> usize {
+        self.considered
+    }
+
+    /// Number of retained (positive-probability) events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no extension can ever tie `X`'s support — then
+    /// `Pr_FC(X) = Pr_F(X)` exactly.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of positions (`k = |T(X)|`).
+    pub fn num_positions(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Total singleton mass `Σ Pr(C_e)`.
+    pub fn total_mass(&self) -> f64 {
+        self.total_mass
+    }
+
+    /// The extension item of event `i`.
+    pub fn item(&self, i: usize) -> Item {
+        self.events[i].item
+    }
+
+    /// `Pr(∧_{i∈subset} C_i)` for a sorted index subset.
+    ///
+    /// The conjunction forces every position outside the mask intersection
+    /// absent and at least `min_sup` present inside it.
+    pub fn joint(&self, subset: &[usize]) -> f64 {
+        match subset {
+            [] => 1.0,
+            [i] => self.events[*i].prob,
+            [first, rest @ ..] => {
+                let mut scratch = self.scratch.borrow_mut();
+                let scratch = &mut *scratch;
+                let mask = scratch
+                    .mask
+                    .get_or_insert_with(|| self.events[*first].mask.clone());
+                mask.clone_from(&self.events[*first].mask);
+                for &i in rest {
+                    mask.intersect_with(&self.events[i].mask);
+                }
+                scratch.probs.clear();
+                let mut absent_factor = 1.0f64;
+                for (pos, &p) in self.probs.iter().enumerate() {
+                    if mask.contains(pos) {
+                        scratch.probs.push(p);
+                    } else {
+                        absent_factor *= 1.0 - p;
+                    }
+                }
+                if scratch.probs.len() < self.min_sup || absent_factor == 0.0 {
+                    return 0.0;
+                }
+                if scratch.dp.len() < self.min_sup + 1 {
+                    scratch.dp.resize(self.min_sup + 1, 0.0);
+                }
+                absent_factor * tail_at_least_with(&scratch.probs, self.min_sup, &mut scratch.dp)
+            }
+        }
+    }
+
+    /// Lemma 4.4 bounds on `Pr_FC(X) = pr_f − Pr(∪ C_e)` as
+    /// `(lower, upper)`.
+    ///
+    /// Tiered for cost: the union bound `Σ Pr(C_e)` and the max-singleton
+    /// bound need no pairwise joints; when they cannot already decide
+    /// against `decision_threshold` (pass `pfct`; pass `None` to force the
+    /// full computation), the de Caen / Kwerel bounds are evaluated over
+    /// the `max_pairwise` highest-probability events with the dropped
+    /// mass folded soundly into the upper union bound.
+    pub fn fcp_bounds(
+        &self,
+        pr_f: f64,
+        max_pairwise: usize,
+        decision_threshold: Option<f64>,
+    ) -> (f64, f64) {
+        if self.events.is_empty() {
+            return (pr_f, pr_f);
+        }
+        let s1 = self.total_mass;
+        let max_single = self.events.iter().map(|e| e.prob).fold(0.0f64, f64::max);
+        // Cheap sandwich: max_single ≤ Pr(∪) ≤ min(S1, 1).
+        let mut lower_fc = (pr_f - s1.min(1.0)).max(0.0);
+        let mut upper_fc = (pr_f - max_single).max(0.0);
+        if let Some(threshold) = decision_threshold {
+            if upper_fc <= threshold || lower_fc > threshold {
+                return (lower_fc, upper_fc);
+            }
+        }
+        // Pairwise refinement over the heaviest events.
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.events[b]
+                .prob
+                .partial_cmp(&self.events[a].prob)
+                .expect("probabilities are not NaN")
+        });
+        order.truncate(max_pairwise.max(1));
+        let dropped: f64 = s1 - order.iter().map(|&i| self.events[i].prob).sum::<f64>();
+        let mut bounds =
+            PairwiseUnionBounds::new(order.iter().map(|&i| self.events[i].prob).collect())
+                .with_dropped_mass(dropped.max(0.0));
+        for (a, &i) in order.iter().enumerate() {
+            for (b, &j) in order.iter().enumerate().skip(a + 1) {
+                let joint = if i < j {
+                    self.joint(&[i, j])
+                } else {
+                    self.joint(&[j, i])
+                };
+                // Guard against DP rounding pushing the joint a hair above
+                // a marginal.
+                let cap = self.events[i].prob.min(self.events[j].prob);
+                bounds.set_pair(a, b, joint.min(cap));
+            }
+        }
+        lower_fc = lower_fc.max((pr_f - bounds.upper()).max(0.0));
+        upper_fc = upper_fc.min((pr_f - bounds.lower()).max(0.0));
+        (lower_fc, upper_fc)
+    }
+
+    fn sampler(&self, i: usize) -> Rc<ConditionalBernoulliSampler> {
+        if let Some(s) = &self.samplers.borrow()[i] {
+            return Rc::clone(s);
+        }
+        let event = &self.events[i];
+        let s = Rc::new(ConditionalBernoulliSampler::new(
+            event.mask_probs.clone(),
+            self.min_sup,
+        ));
+        self.samplers.borrow_mut()[i] = Some(Rc::clone(&s));
+        s
+    }
+}
+
+/// Outcome of the naive world-sampling estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveSampleEstimate {
+    /// Estimated `Pr{X is frequent closed}` (NOT the union term).
+    pub fcp: f64,
+    /// Worlds sampled.
+    pub samples: usize,
+}
+
+impl NonClosureEvents {
+    /// The paper's *naive sampling method* (Section IV.B.4): sample `n`
+    /// unconditioned possible worlds (restricted to `T(X)`, which is all
+    /// that matters) and return the fraction in which `X` is a frequent
+    /// closed itemset.
+    ///
+    /// Unlike [`crate::fcp::approx_fcp`] this estimates the FCP directly
+    /// rather than the non-closure union, so its *relative* accuracy on
+    /// rare events is poor and — the paper's criticism — "we cannot know
+    /// the exact number of samplings that we need to run before all
+    /// samplings end": there is no a-priori `n` giving an `(ε, δ)`
+    /// relative-error guarantee. Kept as the baseline the coverage
+    /// algorithm is measured against.
+    pub fn naive_sampling_fcp<R: Rng + ?Sized>(
+        &self,
+        samples: usize,
+        rng: &mut R,
+    ) -> NaiveSampleEstimate {
+        let k = self.probs.len();
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            // Draw the world restricted to T(X).
+            let mut present = TidSet::new(k);
+            let mut count = 0usize;
+            for (pos, &p) in self.probs.iter().enumerate() {
+                if rng.random::<f64>() < p {
+                    present.insert(pos);
+                    count += 1;
+                }
+            }
+            if count < self.min_sup {
+                continue;
+            }
+            // X is closed in the world iff no extension covers every
+            // present supporting transaction.
+            let tied = self
+                .events
+                .iter()
+                .any(|event| present.is_subset(&event.mask));
+            hits += !tied as usize;
+        }
+        NaiveSampleEstimate {
+            fcp: hits as f64 / samples.max(1) as f64,
+            samples,
+        }
+    }
+}
+
+impl UnionEventSystem for NonClosureEvents {
+    /// A sampled world, restricted to the positions of `T(X)`: the set of
+    /// *present* positions.
+    type World = TidSet;
+
+    fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    fn event_prob(&self, i: usize) -> f64 {
+        self.events[i].prob
+    }
+
+    fn sample_world_given(&self, i: usize, rng: &mut dyn Rng) -> TidSet {
+        let event = &self.events[i];
+        let sampler = self.sampler(i);
+        let mut draws = Vec::with_capacity(event.mask_probs.len());
+        sampler.sample_into(rng, &mut draws);
+        // Positions outside the mask are forced absent by C_i; map the
+        // conditional draws back onto mask positions.
+        let mut world = TidSet::new(self.probs.len());
+        for (draw_idx, pos) in event.mask.iter().enumerate() {
+            if draws[draw_idx] {
+                world.insert(pos);
+            }
+        }
+        world
+    }
+
+    fn world_satisfies(&self, world: &TidSet, j: usize) -> bool {
+        let event = &self.events[j];
+        world.is_subset(&event.mask) && world.count() >= self.min_sup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utdb::PossibleWorlds;
+
+    fn table2() -> UncertainDatabase {
+        UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 0.9),
+            ("a b c", 0.6),
+            ("a b c", 0.7),
+            ("a b c d", 0.9),
+        ])
+    }
+
+    fn items(db: &UncertainDatabase, s: &str) -> Vec<Item> {
+        s.split_whitespace()
+            .map(|x| db.dictionary().get(x).unwrap())
+            .collect()
+    }
+
+    fn family_for(db: &UncertainDatabase, x: &[Item], min_sup: usize) -> NonClosureEvents {
+        let tids = db.tidset_of_itemset(x);
+        let ext = (0..db.num_items() as u32)
+            .map(Item)
+            .filter(|i| !x.contains(i));
+        NonClosureEvents::build(db, &tids, ext, min_sup)
+    }
+
+    /// Oracle: Pr(C_e) measured by world enumeration.
+    fn brute_event_prob(db: &UncertainDatabase, x: &[Item], e: Item, min_sup: usize) -> f64 {
+        let mut xe = x.to_vec();
+        xe.push(e);
+        xe.sort_unstable();
+        let x_tids = db.tidset_of_itemset(x);
+        let xe_tids = db.tidset_of_itemset(&xe);
+        PossibleWorlds::new(db)
+            .filter(|&(mask, _)| {
+                let diff_absent = x_tids
+                    .difference(&xe_tids)
+                    .iter()
+                    .all(|tid| mask >> tid & 1 == 0);
+                let sup_xe = xe_tids.iter().filter(|&t| mask >> t & 1 == 1).count();
+                diff_absent && sup_xe >= min_sup
+            })
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    #[test]
+    fn singleton_probabilities_match_world_oracle() {
+        let db = table2();
+        for x_s in ["a b c", "a b c d", "d"] {
+            let x = items(&db, x_s);
+            for min_sup in 1..=3 {
+                let fam = family_for(&db, &x, min_sup);
+                for i in 0..fam.len() {
+                    let e = fam.item(i);
+                    let oracle = brute_event_prob(&db, &x, e, min_sup);
+                    assert!(
+                        (fam.event_prob(i) - oracle).abs() < 1e-10,
+                        "X={x_s} e={e} ms={min_sup}: {} vs {oracle}",
+                        fam.event_prob(i)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abc_family_is_the_single_d_event() {
+        // For X = {a,b,c} at min_sup 2 the only co-occurring extension is
+        // d: Pr(C_d) = (1-0.6)(1-0.7) * Pr{sup(abcd) >= 2} = .12 * .81.
+        let db = table2();
+        let fam = family_for(&db, &items(&db, "a b c"), 2);
+        assert_eq!(fam.len(), 1);
+        assert!((fam.event_prob(0) - 0.12 * 0.81).abs() < 1e-12);
+        // Pr_FC(abc) = Pr_F - Pr(C_d) = 0.9726 - 0.0972 = 0.8754.
+        let (lo, hi) = fam.fcp_bounds(0.9726, 16, None);
+        assert!(lo <= 0.8754 + 1e-9 && 0.8754 <= hi + 1e-9);
+        assert!((hi - lo) < 1e-9, "single event: bounds are tight");
+    }
+
+    #[test]
+    fn maximal_itemset_has_empty_family() {
+        let db = table2();
+        let fam = family_for(&db, &items(&db, "a b c d"), 2);
+        assert!(fam.is_empty());
+        let (lo, hi) = fam.fcp_bounds(0.81, 16, None);
+        assert_eq!((lo, hi), (0.81, 0.81));
+    }
+
+    #[test]
+    fn joints_match_world_oracle() {
+        // For X = {d}: extensions a, b, c all cover T(d) fully; their
+        // joints must match direct enumeration.
+        let db = table2();
+        let x = items(&db, "d");
+        let min_sup = 1;
+        let fam = family_for(&db, &x, min_sup);
+        assert!(fam.len() >= 2);
+        let x_tids = db.tidset_of_itemset(&x);
+        for i in 0..fam.len() {
+            for j in (i + 1)..fam.len() {
+                let (ei, ej) = (fam.item(i), fam.item(j));
+                let oracle: f64 = PossibleWorlds::new(&db)
+                    .filter(|&(mask, _)| {
+                        let mut sup = 0usize;
+                        let mut ok = true;
+                        for tid in x_tids.iter() {
+                            let present = mask >> tid & 1 == 1;
+                            let has_both =
+                                db.tidset_of(ei).contains(tid) && db.tidset_of(ej).contains(tid);
+                            if present && !has_both {
+                                ok = false;
+                                break;
+                            }
+                            sup += (present && has_both) as usize;
+                        }
+                        ok && sup >= min_sup
+                    })
+                    .map(|(_, p)| p)
+                    .sum();
+                let joint = fam.joint(&[i, j]);
+                assert!(
+                    (joint - oracle).abs() < 1e-10,
+                    "C_{ei} ∧ C_{ej}: {joint} vs {oracle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn joint_of_empty_subset_is_one_and_singleton_is_event_prob() {
+        let db = table2();
+        let fam = family_for(&db, &items(&db, "d"), 1);
+        assert_eq!(fam.joint(&[]), 1.0);
+        for i in 0..fam.len() {
+            assert_eq!(fam.joint(&[i]), fam.event_prob(i));
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_union() {
+        let db = table2();
+        for (x_s, ms) in [("d", 1), ("a", 2), ("a b", 2), ("c", 3)] {
+            let x = items(&db, x_s);
+            let fam = family_for(&db, &x, ms);
+            if fam.is_empty() {
+                continue;
+            }
+            let exact_union = prob::exact_union_probability(fam.len(), |s| fam.joint(s));
+            let pr_f = pfim::frequent_probability(&db, &x, ms);
+            let exact_fc = (pr_f - exact_union).max(0.0);
+            let (lo, hi) = fam.fcp_bounds(pr_f, 16, None);
+            assert!(
+                lo <= exact_fc + 1e-9 && exact_fc <= hi + 1e-9,
+                "X={x_s} ms={ms}: [{lo}, {hi}] vs {exact_fc}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_with_event_cap_remain_sound() {
+        let db = table2();
+        let x = items(&db, "d");
+        let fam = family_for(&db, &x, 1);
+        let pr_f = pfim::frequent_probability(&db, &x, 1);
+        let exact_union = prob::exact_union_probability(fam.len(), |s| fam.joint(s));
+        let exact_fc = (pr_f - exact_union).max(0.0);
+        for cap in 1..=fam.len() {
+            let (lo, hi) = fam.fcp_bounds(pr_f, cap, None);
+            assert!(
+                lo <= exact_fc + 1e-9 && exact_fc <= hi + 1e-9,
+                "cap={cap}: [{lo}, {hi}] vs {exact_fc}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_decision_skips_pairwise() {
+        // With a decision threshold far below the cheap lower bound, the
+        // tiered computation must return the cheap sandwich unchanged.
+        let db = table2();
+        let x = items(&db, "a b c");
+        let fam = family_for(&db, &x, 2);
+        let (lo, hi) = fam.fcp_bounds(0.9726, 16, Some(0.0));
+        assert!(lo > 0.0, "cheap lower bound decides: {lo} {hi}");
+    }
+
+    #[test]
+    fn sampled_worlds_satisfy_their_event() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let db = table2();
+        let fam = family_for(&db, &items(&db, "d"), 1);
+        let mut rng = SmallRng::seed_from_u64(17);
+        for i in 0..fam.len() {
+            for _ in 0..200 {
+                let w = fam.sample_world_given(i, &mut rng);
+                assert!(fam.world_satisfies(&w, i));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_sampling_tracks_exact_fcp() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let db = table2();
+        for (x_s, ms) in [("a b c", 2), ("a", 2), ("d", 1)] {
+            let x = items(&db, x_s);
+            let fam = family_for(&db, &x, ms);
+            let exact = crate::exact::exact_fcp_by_worlds(&db, &x, ms);
+            let mut rng = SmallRng::seed_from_u64(41);
+            let est = fam.naive_sampling_fcp(200_000, &mut rng);
+            assert!(
+                (est.fcp - exact).abs() < 0.01,
+                "X={x_s}: naive {} vs exact {exact}",
+                est.fcp
+            );
+        }
+    }
+
+    #[test]
+    fn karp_luby_on_family_matches_inclusion_exclusion() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let db = table2();
+        for (x_s, ms) in [("d", 1), ("a", 2), ("a b", 2)] {
+            let x = items(&db, x_s);
+            let fam = family_for(&db, &x, ms);
+            if fam.is_empty() {
+                continue;
+            }
+            let exact = prob::exact_union_probability(fam.len(), |s| fam.joint(s));
+            let mut rng = SmallRng::seed_from_u64(23);
+            let est = prob::karp_luby_union(&fam, 0.05, 0.05, &mut rng);
+            assert!(
+                (est.estimate - exact).abs() <= 0.05 * exact + 0.01,
+                "X={x_s} ms={ms}: {} vs {exact}",
+                est.estimate
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! MPFCI — Mining Probabilistic Frequent Closed Itemsets.
+//!
+//! Implementation of *"Discovering Threshold-based Frequent Closed
+//! Itemsets over Probabilistic Data"* (Tong, Chen & Ding, ICDE 2012).
+//!
+//! Given an uncertain transaction database (tuple-uncertainty model), a
+//! minimum support `min_sup` and a probabilistic frequent closed threshold
+//! `pfct`, the miner returns every itemset whose *frequent closed
+//! probability* — the total probability of possible worlds in which the
+//! itemset is a frequent closed itemset — exceeds `pfct`. Computing that
+//! probability is #P-hard (the paper's Theorem 3.1, reproduced
+//! constructively in [`hardness`]), so the miner combines:
+//!
+//! * a depth-first **Bounding–Pruning–Checking** search ([`mpfci`]),
+//! * **Chernoff–Hoeffding** pruning of probabilistically infrequent
+//!   candidates (Lemma 4.1),
+//! * structural **superset/subset** prunings on tid-set containment
+//!   (Lemmas 4.2/4.3),
+//! * **frequent-closed-probability bounds** from de Caen / Kwerel union
+//!   inequalities (Lemma 4.4) in [`events`],
+//! * the **`ApproxFCP`** Karp–Luby FPRAS for the remaining itemsets
+//!   (Fig. 2) in [`fcp`], alongside exact inclusion–exclusion and
+//!   possible-world oracles.
+//!
+//! A breadth-first variant ([`bfs`]), the Naive baseline ([`naive`]) and
+//! per-run instrumentation ([`stats`]) complete the experimental surface
+//! of the paper's Section V.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pfcim_core::{MinerConfig, mine};
+//! use utdb::UncertainDatabase;
+//!
+//! // The paper's running example (Table II).
+//! let db = UncertainDatabase::parse_symbolic(&[
+//!     ("a b c d", 0.9),
+//!     ("a b c", 0.6),
+//!     ("a b c", 0.7),
+//!     ("a b c d", 0.9),
+//! ]);
+//! let outcome = mine(&db, &MinerConfig::new(2, 0.8));
+//! // Exactly {a,b,c} (fcp 0.8754) and {a,b,c,d} (fcp 0.81) qualify.
+//! assert_eq!(outcome.results.len(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bfs;
+pub mod config;
+pub(crate) mod evaluator;
+pub mod events;
+pub mod exact;
+pub mod fcp;
+pub mod hardness;
+pub mod mpfci;
+pub mod naive;
+pub mod result;
+pub mod stats;
+
+pub use bfs::mine_bfs;
+pub use config::{FcpMethod, MinerConfig, PruningConfig, SearchStrategy, Variant};
+pub use events::NonClosureEvents;
+pub use exact::{exact_fcp_by_worlds, exact_fcp_inclusion_exclusion, exact_pfci_set};
+pub use fcp::{approx_fcp, approx_fcp_adaptive};
+pub use mpfci::{mine, mine_dfs};
+pub use naive::mine_naive;
+pub use result::{MiningOutcome, Pfci};
+pub use stats::MinerStats;

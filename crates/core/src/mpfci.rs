@@ -1,0 +1,315 @@
+//! The `ProbFC` depth-first miner (Fig. 3 of the paper).
+//!
+//! Depth-first enumeration over the prefix tree of itemsets in item
+//! ("alphabetic") order, with the four prunings of Section IV:
+//!
+//! 1. **Chernoff–Hoeffding pruning** (Lemma 4.1): a cheap tail bound
+//!    refutes probabilistic frequency before the exact DP runs. Together
+//!    with the exact `Pr_F ≤ pfct` test it cuts whole subtrees, because
+//!    the frequent probability is anti-monotone and dominates the FCP.
+//! 2. **Superset pruning** (Lemma 4.2): if a *pre-item* (an item ordered
+//!    before some item of `X`, hence outside `X`'s prefix subtree) occurs
+//!    in every transaction of `T(X)`, then `X` and its entire prefix
+//!    subtree are non-closed in every world — `Pr_FC ≡ 0`.
+//! 3. **Subset pruning** (Lemma 4.3): if an extension `X∪e` has the same
+//!    count as `X`, then `X` is never closed, and every sibling subtree
+//!    after `e` (none of which can contain `e`) is non-closed too; only
+//!    the `X∪e` branch continues.
+//! 4. **Probability-bound pruning** (Lemma 4.4) and the final checking
+//!    phase, shared with the BFS framework via the internal evaluator.
+
+use std::time::Instant;
+
+use pfim::FreqProbScratch;
+use prob::hoeffding::hoeffding_infrequent;
+use utdb::{Item, TidSet, UncertainDatabase};
+
+use crate::config::{MinerConfig, SearchStrategy};
+use crate::evaluator::Evaluator;
+use crate::result::{MiningOutcome, Pfci};
+
+/// Mine all probabilistic frequent closed itemsets with the configured
+/// search strategy.
+pub fn mine(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
+    match config.search {
+        SearchStrategy::Dfs => mine_dfs(db, config),
+        SearchStrategy::Bfs => crate::bfs::mine_bfs(db, config),
+    }
+}
+
+/// The depth-first `ProbFC` algorithm.
+pub fn mine_dfs(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
+    config.validate();
+    let start = Instant::now();
+    let deadline = config.time_budget.map(|b| start + b);
+    let mut miner = DfsMiner {
+        evaluator: Evaluator::new(db, config),
+        scratch: FreqProbScratch::new(),
+        results: Vec::new(),
+        deadline,
+        timed_out: false,
+    };
+
+    // Phase 1 (Fig. 1): candidate set of probabilistic frequent single
+    // items; each then roots a depth-first enumeration.
+    for id in 0..db.num_items() as u32 {
+        let item = Item(id);
+        let tids = db.tidset_of(item).clone();
+        if let Some(pr_f) = miner.qualify(&tids) {
+            miner.process_node(&mut vec![item], &tids, pr_f);
+        }
+    }
+
+    let mut results = miner.results;
+    results.sort_by(|a, b| a.items.cmp(&b.items));
+    MiningOutcome {
+        results,
+        stats: miner.evaluator.stats,
+        elapsed: start.elapsed(),
+        timed_out: miner.timed_out,
+    }
+}
+
+struct DfsMiner<'a> {
+    evaluator: Evaluator<'a>,
+    scratch: FreqProbScratch,
+    results: Vec<Pfci>,
+    deadline: Option<Instant>,
+    timed_out: bool,
+}
+
+impl DfsMiner<'_> {
+    /// Is the itemset with tid-set `tids` a probabilistic frequent
+    /// itemset? Returns its exact frequent probability when it is.
+    /// Applies the Chernoff–Hoeffding refutation first when enabled.
+    fn qualify(&mut self, tids: &TidSet) -> Option<f64> {
+        let db = self.evaluator.db;
+        let cfg = self.evaluator.cfg;
+        let count = tids.count();
+        if count < cfg.min_sup {
+            return None;
+        }
+        if cfg.pruning.chernoff_hoeffding {
+            let esup: f64 = tids.iter().map(|tid| db.probability(tid)).sum();
+            if hoeffding_infrequent(esup, count, cfg.min_sup, cfg.pfct) {
+                self.evaluator.stats.ch_pruned += 1;
+                return None;
+            }
+        }
+        self.evaluator.stats.freq_prob_evals += 1;
+        let pr_f = self.scratch.tail(db, tids, cfg.min_sup);
+        if pr_f <= cfg.pfct {
+            self.evaluator.stats.freq_pruned += 1;
+            return None;
+        }
+        Some(pr_f)
+    }
+
+    /// Process the enumeration node for itemset `items` (which is known to
+    /// be a probabilistic frequent itemset with frequent probability
+    /// `pr_f`): apply superset pruning, grow extensions with subset
+    /// pruning, then run the checking phase on `items` itself.
+    fn process_node(&mut self, items: &mut Vec<Item>, tids: &TidSet, pr_f: f64) {
+        if self.timed_out {
+            return;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.timed_out = true;
+                return;
+            }
+        }
+        let db = self.evaluator.db;
+        let cfg = self.evaluator.cfg;
+        self.evaluator.stats.nodes_visited += 1;
+
+        // --- Superset pruning (Lemma 4.2) --------------------------------
+        if cfg.pruning.superset {
+            let last = items.last().expect("nodes carry non-empty itemsets").0;
+            for pre_id in 0..last {
+                let pre = Item(pre_id);
+                if items.binary_search(&pre).is_ok() {
+                    continue;
+                }
+                if tids.is_subset(db.tidset_of(pre)) {
+                    // X and every superset with X as prefix appear only
+                    // together with `pre`: the whole subtree is dead.
+                    self.evaluator.stats.superset_pruned += 1;
+                    return;
+                }
+            }
+        }
+
+        // --- Extension loop with subset pruning (Lemma 4.3) ---------------
+        let mut x_closed = true;
+        let count = tids.count();
+        let last = items.last().expect("non-empty").0;
+        for ext_id in last + 1..db.num_items() as u32 {
+            let ext = Item(ext_id);
+            let child_tids = tids.intersection(db.tidset_of(ext));
+            let child_count = child_tids.count();
+            if child_count == 0 {
+                continue;
+            }
+            if cfg.pruning.subset && child_count == count {
+                // X∪ext always accompanies X: X is never closed, and the
+                // remaining sibling subtrees (which cannot contain `ext`)
+                // are never closed either — only this branch survives.
+                self.evaluator.stats.subset_pruned += 1;
+                x_closed = false;
+                // T(X∪ext) = T(X), so the frequent probability carries over.
+                items.push(ext);
+                self.process_node(items, &child_tids, pr_f);
+                items.pop();
+                break;
+            }
+            if let Some(child_pr_f) = self.qualify(&child_tids) {
+                items.push(ext);
+                self.process_node(items, &child_tids, child_pr_f);
+                items.pop();
+            }
+        }
+
+        // --- Checking phase for X itself -----------------------------------
+        if !x_closed {
+            return;
+        }
+        if let Some(pfci) = self.evaluator.evaluate(items, tids, pr_f) {
+            self.results.push(pfci);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::exact::exact_pfci_set;
+
+    fn table2() -> UncertainDatabase {
+        UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 0.9),
+            ("a b c", 0.6),
+            ("a b c", 0.7),
+            ("a b c d", 0.9),
+        ])
+    }
+
+    fn table4() -> UncertainDatabase {
+        UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 0.9),
+            ("a b c", 0.6),
+            ("a b c", 0.7),
+            ("a b c d", 0.9),
+            ("a b", 0.4),
+            ("a", 0.4),
+        ])
+    }
+
+    #[test]
+    fn running_example_result_set_and_values() {
+        let db = table2();
+        let out = mine_dfs(&db, &MinerConfig::new(2, 0.8));
+        let rendered: Vec<String> = out.results.iter().map(|p| p.render(&db)).collect();
+        assert_eq!(rendered.len(), 2, "{rendered:?}");
+        assert!(rendered[0].starts_with("{a, b, c}:"));
+        assert!(rendered[1].starts_with("{a, b, c, d}:"));
+        assert!((out.fcp_of(&out.results[0].items).unwrap() - 0.8754).abs() < 0.01);
+        assert!((out.fcp_of(&out.results[1].items).unwrap() - 0.81).abs() < 0.01);
+    }
+
+    #[test]
+    fn matches_exact_oracle_on_small_databases() {
+        for (db, min_sup, pfct) in [
+            (table2(), 2, 0.8),
+            (table2(), 2, 0.5),
+            (table2(), 1, 0.8),
+            (table2(), 3, 0.3),
+            (table4(), 2, 0.8),
+            (table4(), 2, 0.6),
+            (table4(), 1, 0.9),
+        ] {
+            let oracle = exact_pfci_set(&db, min_sup, pfct);
+            let cfg = MinerConfig::new(min_sup, pfct)
+                .with_fcp_method(crate::config::FcpMethod::ExactOnly);
+            let out = mine_dfs(&db, &cfg);
+            assert_eq!(
+                out.itemsets(),
+                oracle.iter().map(|p| p.items.clone()).collect::<Vec<_>>(),
+                "min_sup={min_sup} pfct={pfct}"
+            );
+            for (got, want) in out.results.iter().zip(&oracle) {
+                assert!(
+                    (got.fcp - want.fcp).abs() < 1e-6,
+                    "{:?}: {} vs {}",
+                    got.items,
+                    got.fcp,
+                    want.fcp
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_variants_agree_on_the_result_set() {
+        let db = table4();
+        let base = MinerConfig::new(2, 0.8).with_fcp_method(crate::config::FcpMethod::ExactOnly);
+        let reference = mine(&db, &base).itemsets();
+        for variant in Variant::ALL {
+            let cfg = base.clone().with_variant(variant);
+            let out = mine(&db, &cfg);
+            assert_eq!(out.itemsets(), reference, "{}", variant.name());
+        }
+    }
+
+    #[test]
+    fn pruning_counters_fire_on_the_running_example() {
+        let db = table2();
+        let out = mine_dfs(&db, &MinerConfig::new(2, 0.8));
+        // Example 4.3: subset pruning stops {ab}'s siblings, superset
+        // pruning stops {b}, {c}, {d} roots.
+        assert!(out.stats.subset_pruned > 0);
+        assert!(out.stats.superset_pruned > 0);
+        assert!(out.stats.nodes_visited >= 4);
+    }
+
+    #[test]
+    fn empty_database_and_high_thresholds() {
+        let empty = UncertainDatabase::new(vec![], utdb::ItemDictionary::new());
+        assert!(mine_dfs(&empty, &MinerConfig::new(1, 0.5))
+            .results
+            .is_empty());
+
+        let db = table2();
+        assert!(mine_dfs(&db, &MinerConfig::new(5, 0.5)).results.is_empty());
+        assert!(mine_dfs(&db, &MinerConfig::new(2, 0.999))
+            .results
+            .is_empty());
+    }
+
+    #[test]
+    fn adaptive_sampling_method_agrees_with_exact() {
+        let db = table4();
+        let exact = mine_dfs(
+            &db,
+            &MinerConfig::new(2, 0.8).with_fcp_method(crate::config::FcpMethod::ExactOnly),
+        );
+        let adaptive = mine_dfs(
+            &db,
+            &MinerConfig::new(2, 0.8)
+                .with_fcp_method(crate::config::FcpMethod::ApproxAdaptive)
+                .with_approximation(0.05, 0.05),
+        );
+        assert_eq!(adaptive.itemsets(), exact.itemsets());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let db = table4();
+        let cfg = MinerConfig::new(2, 0.8);
+        let a = mine_dfs(&db, &cfg);
+        let b = mine_dfs(&db, &cfg);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.stats, b.stats);
+    }
+}

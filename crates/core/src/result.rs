@@ -1,0 +1,104 @@
+//! Result types of a mining run.
+
+use std::time::Duration;
+
+use utdb::{Item, UncertainDatabase};
+
+use crate::stats::MinerStats;
+
+/// One probabilistic frequent closed itemset (Definition 3.8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pfci {
+    /// The itemset, sorted ascending.
+    pub items: Vec<Item>,
+    /// Its (possibly approximate) frequent closed probability.
+    pub fcp: f64,
+    /// Its frequent probability `Pr_F` — an upper bound on `fcp`, always
+    /// exact (computed by the polynomial DP).
+    pub frequent_probability: f64,
+}
+
+impl Pfci {
+    /// Render as `{a, b, c}: 0.875` with the database's dictionary.
+    pub fn render(&self, db: &UncertainDatabase) -> String {
+        format!("{}: {:.4}", db.render(&self.items), self.fcp)
+    }
+}
+
+/// Everything a mining run returns.
+#[derive(Debug, Clone)]
+pub struct MiningOutcome {
+    /// The probabilistic frequent closed itemsets, in canonical
+    /// (lexicographic itemset) order.
+    pub results: Vec<Pfci>,
+    /// Work counters.
+    pub stats: MinerStats,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// True when the run hit its configured time budget and aborted
+    /// early; `results` is then a (sound but possibly incomplete) subset.
+    pub timed_out: bool,
+}
+
+impl MiningOutcome {
+    /// Sort results canonically (done by the miners before returning; a
+    /// public helper so baselines can normalize too).
+    pub fn sort_canonical(&mut self) {
+        self.results.sort_by(|a, b| a.items.cmp(&b.items));
+    }
+
+    /// The itemsets alone, canonical order — the shape result-set
+    /// equality tests compare.
+    pub fn itemsets(&self) -> Vec<Vec<Item>> {
+        self.results.iter().map(|p| p.items.clone()).collect()
+    }
+
+    /// Look up the FCP of an itemset, if present.
+    pub fn fcp_of(&self, items: &[Item]) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|p| p.items == items)
+            .map(|p| p.fcp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_uses_dictionary() {
+        let db = UncertainDatabase::parse_symbolic(&[("x y", 0.5)]);
+        let p = Pfci {
+            items: vec![Item(0), Item(1)],
+            fcp: 0.875,
+            frequent_probability: 0.9,
+        };
+        assert_eq!(p.render(&db), "{x, y}: 0.8750");
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let mut o = MiningOutcome {
+            results: vec![
+                Pfci {
+                    items: vec![Item(1)],
+                    fcp: 0.5,
+                    frequent_probability: 0.6,
+                },
+                Pfci {
+                    items: vec![Item(0)],
+                    fcp: 0.7,
+                    frequent_probability: 0.8,
+                },
+            ],
+            stats: MinerStats::default(),
+            elapsed: Duration::ZERO,
+            timed_out: false,
+        };
+        o.sort_canonical();
+        assert_eq!(o.itemsets(), vec![vec![Item(0)], vec![Item(1)]]);
+        assert_eq!(o.fcp_of(&[Item(1)]), Some(0.5));
+        assert_eq!(o.fcp_of(&[Item(2)]), None);
+    }
+}

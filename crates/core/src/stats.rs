@@ -1,0 +1,121 @@
+//! Per-run instrumentation: how hard did each pruning work?
+//!
+//! The paper's Section V measures the *effectiveness of pruning
+//! strategies* indirectly through runtime; these counters expose it
+//! directly and back the ablation benches.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters accumulated over one mining run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinerStats {
+    /// Enumeration-tree nodes visited (itemsets considered).
+    pub nodes_visited: u64,
+    /// Subtrees cut by superset pruning (Lemma 4.2).
+    pub superset_pruned: u64,
+    /// Sibling groups cut by subset pruning (Lemma 4.3).
+    pub subset_pruned: u64,
+    /// Candidates refuted by the Chernoff–Hoeffding bound (Lemma 4.1)
+    /// without running the exact DP.
+    pub ch_pruned: u64,
+    /// Candidates whose exact frequent probability fell at or below
+    /// `pfct` (subtree pruned by anti-monotonicity).
+    pub freq_pruned: u64,
+    /// Itemsets rejected because the FCP upper bound (Lemma 4.4) fell at
+    /// or below `pfct`.
+    pub bound_rejected: u64,
+    /// Itemsets decided because upper and lower FCP bounds coincided.
+    pub bound_decided: u64,
+    /// Itemsets whose FCP was computed exactly (inclusion–exclusion).
+    pub fcp_exact: u64,
+    /// Itemsets whose FCP was estimated by `ApproxFCP`.
+    pub fcp_sampled: u64,
+    /// Total Monte-Carlo samples drawn across all `ApproxFCP` calls.
+    pub samples_drawn: u64,
+    /// Exact frequent-probability DP evaluations.
+    pub freq_prob_evals: u64,
+}
+
+impl MinerStats {
+    /// Merge another run's counters into this one (used by sweeps).
+    pub fn absorb(&mut self, other: &MinerStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.superset_pruned += other.superset_pruned;
+        self.subset_pruned += other.subset_pruned;
+        self.ch_pruned += other.ch_pruned;
+        self.freq_pruned += other.freq_pruned;
+        self.bound_rejected += other.bound_rejected;
+        self.bound_decided += other.bound_decided;
+        self.fcp_exact += other.fcp_exact;
+        self.fcp_sampled += other.fcp_sampled;
+        self.samples_drawn += other.samples_drawn;
+        self.freq_prob_evals += other.freq_prob_evals;
+    }
+
+    /// Total itemsets whose FCP was evaluated (exactly or by sampling).
+    pub fn fcp_evaluations(&self) -> u64 {
+        self.fcp_exact + self.fcp_sampled
+    }
+}
+
+impl fmt::Display for MinerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={} super={} sub={} ch={} freq={} bound_rej={} bound_dec={} \
+             fcp_exact={} fcp_sampled={} samples={}",
+            self.nodes_visited,
+            self.superset_pruned,
+            self.subset_pruned,
+            self.ch_pruned,
+            self.freq_pruned,
+            self.bound_rejected,
+            self.bound_decided,
+            self.fcp_exact,
+            self.fcp_sampled,
+            self.samples_drawn,
+        )
+    }
+}
+
+/// A stats bundle together with wall-clock time, as reported by sweeps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimedStats {
+    /// The counters.
+    pub stats: MinerStats,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = MinerStats {
+            nodes_visited: 2,
+            fcp_sampled: 1,
+            samples_drawn: 100,
+            ..Default::default()
+        };
+        let b = MinerStats {
+            nodes_visited: 3,
+            fcp_exact: 4,
+            samples_drawn: 50,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.nodes_visited, 5);
+        assert_eq!(a.fcp_evaluations(), 5);
+        assert_eq!(a.samples_drawn, 150);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = MinerStats::default().to_string();
+        assert!(s.starts_with("nodes=0"));
+        assert!(s.contains("samples=0"));
+    }
+}

@@ -1,0 +1,171 @@
+//! The Apriori algorithm (Agrawal & Srikant, VLDB'94).
+//!
+//! Level-wise breadth-first mining: frequent `k`-itemsets are joined into
+//! `(k+1)`-candidates, pruned by the downward-closure property, and counted
+//! against the database. Kept as the most literal reference implementation
+//! for cross-validating the faster miners.
+
+use std::collections::HashSet;
+
+use utdb::{Item, UncertainDatabase};
+
+use crate::MinedItemset;
+
+/// Mine all itemsets with support at least `min_sup` (which must be ≥ 1).
+///
+/// # Examples
+///
+/// ```
+/// use utdb::UncertainDatabase;
+/// let db = UncertainDatabase::parse_symbolic(&[
+///     ("a b c", 1.0),
+///     ("a b", 1.0),
+///     ("a c", 1.0),
+/// ]);
+/// let fis = fim::frequent_itemsets_apriori(&db, 2);
+/// assert!(fis.iter().any(|m| db.render(&m.items) == "{a, b}" && m.support == 2));
+/// ```
+pub fn frequent_itemsets_apriori(db: &UncertainDatabase, min_sup: usize) -> Vec<MinedItemset> {
+    let min_sup = min_sup.max(1);
+    let mut results = Vec::new();
+
+    // L1
+    let mut level: Vec<Vec<Item>> = Vec::new();
+    for id in 0..db.num_items() {
+        let item = Item(id as u32);
+        let support = db.tidset_of(item).count();
+        if support >= min_sup {
+            results.push(MinedItemset::new(vec![item], support));
+            level.push(vec![item]);
+        }
+    }
+
+    while !level.is_empty() {
+        let candidates = generate_candidates(&level);
+        let mut next_level = Vec::new();
+        for cand in candidates {
+            let support = db.count_of_itemset(&cand);
+            if support >= min_sup {
+                results.push(MinedItemset::new(cand.clone(), support));
+                next_level.push(cand);
+            }
+        }
+        level = next_level;
+    }
+    results
+}
+
+/// Join step + prune step: each pair of frequent `k`-itemsets sharing a
+/// `(k−1)`-prefix yields a candidate, kept only if all of its `k`-subsets
+/// are frequent.
+fn generate_candidates(level: &[Vec<Item>]) -> Vec<Vec<Item>> {
+    let frequent: HashSet<&[Item]> = level.iter().map(Vec::as_slice).collect();
+    let mut out = Vec::new();
+    for (i, a) in level.iter().enumerate() {
+        for b in &level[i + 1..] {
+            let k = a.len();
+            if a[..k - 1] != b[..k - 1] {
+                continue;
+            }
+            let mut cand = a.clone();
+            let last = b[k - 1];
+            if last <= *cand.last().expect("non-empty level itemset") {
+                continue;
+            }
+            cand.push(last);
+            // Prune: every k-subset must be frequent.
+            let mut all_subsets_frequent = true;
+            let mut subset = Vec::with_capacity(k);
+            for skip in 0..cand.len() {
+                subset.clear();
+                subset.extend(
+                    cand.iter()
+                        .enumerate()
+                        .filter(|&(idx, _)| idx != skip)
+                        .map(|(_, &it)| it),
+                );
+                if !frequent.contains(subset.as_slice()) {
+                    all_subsets_frequent = false;
+                    break;
+                }
+            }
+            if all_subsets_frequent {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort_canonical;
+
+    fn db() -> UncertainDatabase {
+        UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 1.0),
+            ("a b c", 1.0),
+            ("a b c", 1.0),
+            ("a b c d", 1.0),
+        ])
+    }
+
+    #[test]
+    fn mines_table_ii_as_exact_data() {
+        let d = db();
+        let mut fis = frequent_itemsets_apriori(&d, 2);
+        sort_canonical(&mut fis);
+        // All 2^3-1 subsets of {a,b,c} have support 4, all subsets
+        // containing d have support 2: 15 frequent itemsets.
+        assert_eq!(fis.len(), 15);
+        assert!(fis.iter().all(|m| {
+            if m.items.len() == 4 || m.items.contains(&d.dictionary().get("d").unwrap()) {
+                m.support == 2
+            } else {
+                m.support == 4
+            }
+        }));
+    }
+
+    #[test]
+    fn min_sup_above_db_size_yields_nothing() {
+        assert!(frequent_itemsets_apriori(&db(), 5).is_empty());
+    }
+
+    #[test]
+    fn min_sup_zero_is_treated_as_one() {
+        let fis = frequent_itemsets_apriori(&db(), 0);
+        assert_eq!(fis.len(), 15);
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let empty = UncertainDatabase::new(vec![], utdb::ItemDictionary::new());
+        assert!(frequent_itemsets_apriori(&empty, 1).is_empty());
+    }
+
+    #[test]
+    fn candidate_generation_requires_shared_prefix() {
+        // {a,b} and {c,d} share no prefix: no 3-candidate from them.
+        let level = vec![vec![Item(0), Item(1)], vec![Item(2), Item(3)]];
+        assert!(generate_candidates(&level).is_empty());
+    }
+
+    #[test]
+    fn candidate_generation_prunes_infrequent_subsets() {
+        // {a,b}, {a,c} join to {a,b,c}, but {b,c} is not frequent.
+        let level = vec![vec![Item(0), Item(1)], vec![Item(0), Item(2)]];
+        assert!(generate_candidates(&level).is_empty());
+        // Adding {b,c} makes the candidate survive.
+        let level = vec![
+            vec![Item(0), Item(1)],
+            vec![Item(0), Item(2)],
+            vec![Item(1), Item(2)],
+        ];
+        assert_eq!(
+            generate_candidates(&level),
+            vec![vec![Item(0), Item(1), Item(2)]]
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Exact frequent *closed* itemset mining.
+//!
+//! An itemset is closed when no proper superset has the same support
+//! (Definition 3.2 of the paper). The direct miner below is the
+//! prefix-preserving closure-extension scheme of LCM / DCI-Closed — the
+//! same closure machinery CLOSET+ exploits, expressed over the vertical
+//! tid-set layout. A quadratic filter over plain frequent itemsets serves
+//! as the cross-validation reference.
+
+use utdb::{Item, TidSet, UncertainDatabase};
+
+use crate::MinedItemset;
+
+/// Mine all frequent closed itemsets directly (LCM-style prefix-preserving
+/// closure extension).
+///
+/// # Examples
+///
+/// ```
+/// use utdb::UncertainDatabase;
+/// // a and b always co-occur: {a} and {b} are not closed, {a,b} is.
+/// let db = UncertainDatabase::parse_symbolic(&[("a b", 1.0), ("a b c", 1.0)]);
+/// let fcis = fim::frequent_closed_itemsets(&db, 1);
+/// let rendered: Vec<String> = fcis.iter().map(|m| db.render(&m.items)).collect();
+/// assert!(rendered.contains(&"{a, b}".to_string()));
+/// assert!(!rendered.contains(&"{a}".to_string()));
+/// ```
+pub fn frequent_closed_itemsets(db: &UncertainDatabase, min_sup: usize) -> Vec<MinedItemset> {
+    let min_sup = min_sup.max(1);
+    let mut results = Vec::new();
+    if db.is_empty() {
+        return results;
+    }
+    let full = TidSet::full(db.len());
+    expand(db, &[], &full, 0, min_sup, &mut results);
+    results
+}
+
+/// Try every prefix-preserving closure extension of the closed itemset
+/// `current` (with tid-set `tids`) by items `>= start`.
+fn expand(
+    db: &UncertainDatabase,
+    current: &[Item],
+    tids: &TidSet,
+    start: u32,
+    min_sup: usize,
+    results: &mut Vec<MinedItemset>,
+) {
+    let num_items = db.num_items() as u32;
+    'candidates: for id in start..num_items {
+        let item = Item(id);
+        if current.binary_search(&item).is_ok() {
+            continue;
+        }
+        let child_tids = tids.intersection(db.tidset_of(item));
+        let support = child_tids.count();
+        if support < min_sup {
+            continue;
+        }
+        // Closure of current ∪ {item}: all items whose tid-set covers
+        // child_tids. Prefix-preservation: if the closure acquires an item
+        // smaller than `item` that is not already in `current`, this
+        // closed set is generated elsewhere — skip.
+        let mut closure: Vec<Item> = Vec::with_capacity(current.len() + 1);
+        for other_id in 0..num_items {
+            let other = Item(other_id);
+            if other_id < id {
+                let in_current = current.binary_search(&other).is_ok();
+                let covers = child_tids.is_subset(db.tidset_of(other));
+                if covers && !in_current {
+                    continue 'candidates; // not prefix-preserving
+                }
+                if in_current {
+                    closure.push(other);
+                }
+            } else if other_id == id || child_tids.is_subset(db.tidset_of(other)) {
+                closure.push(other);
+            }
+        }
+        results.push(MinedItemset::new(closure.clone(), support));
+        expand(db, &closure, &child_tids, id + 1, min_sup, results);
+    }
+}
+
+/// Reference implementation: filter a complete frequent-itemset list down
+/// to the closed ones (no proper superset in the list with equal support).
+///
+/// Quadratic per support-class; meant for cross-validation, not scale.
+pub fn closed_by_filtering(frequent: &[MinedItemset]) -> Vec<MinedItemset> {
+    let mut out = Vec::new();
+    for a in frequent {
+        let closed = !frequent.iter().any(|b| {
+            b.support == a.support && b.items.len() > a.items.len() && is_subset(&a.items, &b.items)
+        });
+        if closed {
+            out.push(a.clone());
+        }
+    }
+    out
+}
+
+/// Is sorted `a` a subset of sorted `b`?
+fn is_subset(a: &[Item], b: &[Item]) -> bool {
+    let mut it = b.iter();
+    'outer: for x in a {
+        for y in it.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::frequent_itemsets_fpgrowth;
+    use crate::sort_canonical;
+    use crate::testutil::random_db;
+
+    #[test]
+    fn table_ii_closed_sets() {
+        // As exact data, Table II has exactly two closed itemsets at
+        // min_sup 2: {a,b,c} (support 4) and {a,b,c,d} (support 2).
+        let db = UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 1.0),
+            ("a b c", 1.0),
+            ("a b c", 1.0),
+            ("a b c d", 1.0),
+        ]);
+        let mut fcis = frequent_closed_itemsets(&db, 2);
+        sort_canonical(&mut fcis);
+        let rendered: Vec<(String, usize)> = fcis
+            .iter()
+            .map(|m| (db.render(&m.items), m.support))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                ("{a, b, c}".to_string(), 4),
+                ("{a, b, c, d}".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn closed_count_never_exceeds_frequent_count() {
+        for seed in 30..36 {
+            let db = random_db(seed, 30, 9, 0.5);
+            for min_sup in [1, 2, 5] {
+                let fis = frequent_itemsets_fpgrowth(&db, min_sup);
+                let fcis = frequent_closed_itemsets(&db, min_sup);
+                assert!(fcis.len() <= fis.len());
+                assert_eq!(fis.is_empty(), fcis.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn every_frequent_itemset_has_a_closed_superset_with_equal_support() {
+        // The compression property: FCIs are a lossless summary of FIs.
+        let db = random_db(41, 25, 8, 0.5);
+        let fis = frequent_itemsets_fpgrowth(&db, 2);
+        let fcis = frequent_closed_itemsets(&db, 2);
+        for f in &fis {
+            assert!(
+                fcis.iter()
+                    .any(|c| c.support == f.support && is_subset(&f.items, &c.items)),
+                "{:?} lacks a closed cover",
+                f.items
+            );
+        }
+    }
+
+    #[test]
+    fn full_support_items_collapse_to_one_closure() {
+        let db = UncertainDatabase::parse_symbolic(&[("a b", 1.0), ("a b", 1.0)]);
+        let fcis = frequent_closed_itemsets(&db, 1);
+        assert_eq!(fcis.len(), 1);
+        assert_eq!(db.render(&fcis[0].items), "{a, b}");
+        assert_eq!(fcis[0].support, 2);
+    }
+
+    #[test]
+    fn no_duplicates_in_output() {
+        for seed in 50..55 {
+            let db = random_db(seed, 25, 8, 0.5);
+            let mut fcis = frequent_closed_itemsets(&db, 1);
+            sort_canonical(&mut fcis);
+            for w in fcis.windows(2) {
+                assert_ne!(w[0].items, w[1].items, "duplicate closed itemset");
+            }
+        }
+    }
+
+    #[test]
+    fn is_subset_merge_walk() {
+        let a = vec![Item(1), Item(3)];
+        let b = vec![Item(0), Item(1), Item(2), Item(3)];
+        assert!(is_subset(&a, &b));
+        assert!(!is_subset(&b, &a));
+        assert!(is_subset(&[], &a));
+        assert!(!is_subset(&[Item(9)], &b));
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let db = UncertainDatabase::new(vec![], utdb::ItemDictionary::new());
+        assert!(frequent_closed_itemsets(&db, 1).is_empty());
+    }
+}

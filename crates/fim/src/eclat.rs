@@ -1,0 +1,102 @@
+//! The Eclat algorithm (Zaki, 1997): depth-first mining over the vertical
+//! layout, extending prefixes by tid-set intersection.
+//!
+//! Eclat's vertical representation is also the backbone of the
+//! probabilistic miner in `pfcim-core`, so this exact version doubles as a
+//! structural reference for it.
+
+use utdb::{Item, TidSet, UncertainDatabase};
+
+use crate::MinedItemset;
+
+/// Mine all itemsets with support at least `min_sup` (≥ 1) depth-first.
+///
+/// # Examples
+///
+/// ```
+/// use utdb::UncertainDatabase;
+/// let db = UncertainDatabase::parse_symbolic(&[("a b", 1.0), ("a", 1.0)]);
+/// let fis = fim::frequent_itemsets_eclat(&db, 1);
+/// assert_eq!(fis.len(), 3); // {a}, {b}, {a,b}
+/// ```
+pub fn frequent_itemsets_eclat(db: &UncertainDatabase, min_sup: usize) -> Vec<MinedItemset> {
+    let min_sup = min_sup.max(1);
+    let mut results = Vec::new();
+    // Frequent single items with their tidsets, ascending item order.
+    let singles: Vec<(Item, TidSet)> = (0..db.num_items())
+        .map(|id| Item(id as u32))
+        .filter_map(|item| {
+            let ts = db.tidset_of(item);
+            (ts.count() >= min_sup).then(|| (item, ts.clone()))
+        })
+        .collect();
+    let mut prefix = Vec::new();
+    recurse(&singles, &mut prefix, min_sup, &mut results);
+    results
+}
+
+/// Depth-first extension: `equiv` holds the extension items of the current
+/// prefix with their tidsets *conditioned on the prefix*.
+fn recurse(
+    equiv: &[(Item, TidSet)],
+    prefix: &mut Vec<Item>,
+    min_sup: usize,
+    results: &mut Vec<MinedItemset>,
+) {
+    for (idx, (item, tids)) in equiv.iter().enumerate() {
+        prefix.push(*item);
+        results.push(MinedItemset::new(prefix.clone(), tids.count()));
+        // Build the conditional equivalence class for the new prefix.
+        let mut child: Vec<(Item, TidSet)> = Vec::new();
+        for (other, other_tids) in &equiv[idx + 1..] {
+            let joint = tids.intersection(other_tids);
+            if joint.count() >= min_sup {
+                child.push((*other, joint));
+            }
+        }
+        if !child.is_empty() {
+            recurse(&child, prefix, min_sup, results);
+        }
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort_canonical;
+    use crate::testutil::{brute_force_frequent, random_db};
+
+    #[test]
+    fn matches_brute_force() {
+        let db = random_db(77, 25, 8, 0.5);
+        for min_sup in [1, 2, 4, 8, 12] {
+            let mut got = frequent_itemsets_eclat(&db, min_sup);
+            sort_canonical(&mut got);
+            assert_eq!(got, brute_force_frequent(&db, min_sup), "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn respects_min_sup_boundary() {
+        let db = UncertainDatabase::parse_symbolic(&[("a b", 1.0), ("a b", 1.0), ("a", 1.0)]);
+        let at_two = frequent_itemsets_eclat(&db, 2);
+        assert!(at_two.iter().any(|m| m.items.len() == 2 && m.support == 2));
+        let at_three = frequent_itemsets_eclat(&db, 3);
+        assert_eq!(at_three.len(), 1); // only {a} with support 3
+    }
+
+    #[test]
+    fn deep_chains_are_explored() {
+        // A single long transaction: every subset of it is frequent at 1.
+        let db = UncertainDatabase::parse_symbolic(&[("a b c d e f", 1.0)]);
+        let fis = frequent_itemsets_eclat(&db, 1);
+        assert_eq!(fis.len(), (1 << 6) - 1);
+    }
+
+    #[test]
+    fn empty_result_for_high_threshold() {
+        let db = UncertainDatabase::parse_symbolic(&[("a", 1.0)]);
+        assert!(frequent_itemsets_eclat(&db, 2).is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! FP-growth (Han, Pei & Yin, SIGMOD'00): pattern-growth mining over the
+//! FP-tree, the frequent-itemset miner the paper's Fig. 10 uses for the
+//! exact side of the compression comparison.
+
+use utdb::{Item, UncertainDatabase};
+
+use crate::fptree::FpTree;
+use crate::MinedItemset;
+
+/// Mine all itemsets with support at least `min_sup` (≥ 1) via FP-growth.
+///
+/// # Examples
+///
+/// ```
+/// use utdb::UncertainDatabase;
+/// let db = UncertainDatabase::parse_symbolic(&[
+///     ("a b", 1.0),
+///     ("a b", 1.0),
+///     ("b c", 1.0),
+/// ]);
+/// let fis = fim::frequent_itemsets_fpgrowth(&db, 2);
+/// assert_eq!(fis.len(), 3); // {a}, {b}, {a,b}
+/// ```
+pub fn frequent_itemsets_fpgrowth(db: &UncertainDatabase, min_sup: usize) -> Vec<MinedItemset> {
+    let min_sup = min_sup.max(1);
+
+    // Global item order: descending support, ties by ascending id — the
+    // canonical FP-tree insertion order.
+    let mut frequent: Vec<(Item, usize)> = (0..db.num_items())
+        .map(|id| Item(id as u32))
+        .map(|item| (item, db.tidset_of(item).count()))
+        .filter(|&(_, c)| c >= min_sup)
+        .collect();
+    frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let rank: std::collections::HashMap<Item, usize> = frequent
+        .iter()
+        .enumerate()
+        .map(|(r, &(item, _))| (item, r))
+        .collect();
+
+    let mut tree = FpTree::new();
+    let mut path: Vec<Item> = Vec::new();
+    for t in db.transactions() {
+        path.clear();
+        path.extend(t.items().iter().copied().filter(|i| rank.contains_key(i)));
+        path.sort_by_key(|i| rank[i]);
+        if !path.is_empty() {
+            tree.insert(&path, 1);
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut suffix = Vec::new();
+    grow(&tree, min_sup, &mut suffix, &mut results);
+    for m in &mut results {
+        m.items.sort_unstable();
+    }
+    results
+}
+
+/// Recursive pattern growth: emit each frequent item of `tree` appended to
+/// `suffix`, then mine its conditional tree.
+fn grow(tree: &FpTree, min_sup: usize, suffix: &mut Vec<Item>, results: &mut Vec<MinedItemset>) {
+    // Single-path shortcut: every combination of path items is frequent
+    // with the minimum count along the chosen sub-path.
+    if let Some(path) = tree.single_path() {
+        if path.is_empty() {
+            return;
+        }
+        emit_path_combinations(&path, min_sup, suffix, results);
+        return;
+    }
+
+    let mut items: Vec<(Item, usize)> = tree
+        .items()
+        .filter(|&(_, count)| count >= min_sup)
+        .collect();
+    // Deterministic order for reproducible output.
+    items.sort_by_key(|&(item, _)| item);
+
+    for (item, count) in items {
+        suffix.push(item);
+        results.push(MinedItemset {
+            items: suffix.clone(),
+            support: count,
+        });
+        // Conditional tree on `item`.
+        let base = tree.conditional_pattern_base(item);
+        let mut cond_counts: std::collections::HashMap<Item, usize> =
+            std::collections::HashMap::new();
+        for (path, c) in &base {
+            for &i in path {
+                *cond_counts.entry(i).or_default() += c;
+            }
+        }
+        let mut cond = FpTree::new();
+        let mut filtered: Vec<Item> = Vec::new();
+        for (path, c) in &base {
+            filtered.clear();
+            filtered.extend(path.iter().copied().filter(|i| cond_counts[i] >= min_sup));
+            if !filtered.is_empty() {
+                cond.insert(&filtered, *c);
+            }
+        }
+        if !cond.is_empty() {
+            grow(&cond, min_sup, suffix, results);
+        }
+        suffix.pop();
+    }
+}
+
+/// All non-empty combinations of a single path, each with the minimum
+/// count of its members, appended to `suffix`.
+fn emit_path_combinations(
+    path: &[(Item, usize)],
+    min_sup: usize,
+    suffix: &[Item],
+    results: &mut Vec<MinedItemset>,
+) {
+    let n = path.len();
+    debug_assert!(n < 64, "single-path combination blowup guard");
+    for mask in 1u64..(1 << n) {
+        let mut count = usize::MAX;
+        let mut items = suffix.to_vec();
+        for (i, &(item, c)) in path.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                count = count.min(c);
+                items.push(item);
+            }
+        }
+        if count >= min_sup {
+            results.push(MinedItemset {
+                items,
+                support: count,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort_canonical;
+    use crate::testutil::{brute_force_frequent, random_db};
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        for seed in 20..26 {
+            let db = random_db(seed, 35, 9, 0.45);
+            for min_sup in [1, 3, 7, 15] {
+                let mut got = frequent_itemsets_fpgrowth(&db, min_sup);
+                sort_canonical(&mut got);
+                assert_eq!(
+                    got,
+                    brute_force_frequent(&db, min_sup),
+                    "seed={seed} min_sup={min_sup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_transaction_database_uses_single_path_shortcut() {
+        let db = UncertainDatabase::parse_symbolic(&[("a b c d e", 1.0)]);
+        let fis = frequent_itemsets_fpgrowth(&db, 1);
+        assert_eq!(fis.len(), 31);
+    }
+
+    #[test]
+    fn identical_transactions_share_one_path() {
+        let db =
+            UncertainDatabase::parse_symbolic(&[("a b c", 1.0), ("a b c", 1.0), ("a b c", 1.0)]);
+        let fis = frequent_itemsets_fpgrowth(&db, 3);
+        assert_eq!(fis.len(), 7);
+        assert!(fis.iter().all(|m| m.support == 3));
+    }
+
+    #[test]
+    fn infrequent_items_never_appear() {
+        let db = UncertainDatabase::parse_symbolic(&[("a b", 1.0), ("a b", 1.0), ("a c", 1.0)]);
+        let c = db.dictionary().get("c").unwrap();
+        let fis = frequent_itemsets_fpgrowth(&db, 2);
+        assert!(fis.iter().all(|m| !m.items.contains(&c)));
+    }
+
+    #[test]
+    fn results_are_sorted_itemsets() {
+        let db = random_db(99, 20, 8, 0.5);
+        for m in frequent_itemsets_fpgrowth(&db, 2) {
+            assert!(m.items.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The FP-tree (frequent-pattern tree) of Han, Pei & Yin (SIGMOD'00).
+//!
+//! A prefix-tree compression of the database restricted to frequent items,
+//! with per-item node chains (the header table) enabling fast extraction
+//! of conditional pattern bases. Arena-allocated: nodes live in one `Vec`
+//! and refer to each other by index.
+
+use std::collections::HashMap;
+
+use utdb::Item;
+
+/// Index of a node within the tree arena.
+pub type NodeId = usize;
+
+/// One node of the FP-tree.
+#[derive(Debug, Clone)]
+pub struct FpNode {
+    /// The item labelling the edge from the parent (meaningless at root).
+    pub item: Item,
+    /// Number of transactions passing through this node.
+    pub count: usize,
+    /// Parent node; `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Children, keyed by item.
+    children: HashMap<Item, NodeId>,
+}
+
+/// A frequent-pattern tree with its header table.
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    nodes: Vec<FpNode>,
+    /// item -> ids of all nodes carrying that item.
+    header: HashMap<Item, Vec<NodeId>>,
+    /// item -> total count across its node chain.
+    item_counts: HashMap<Item, usize>,
+}
+
+impl FpTree {
+    /// An empty tree (a lone root).
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![FpNode {
+                item: Item(u32::MAX),
+                count: 0,
+                parent: None,
+                children: HashMap::new(),
+            }],
+            header: HashMap::new(),
+            item_counts: HashMap::new(),
+        }
+    }
+
+    /// Insert one (ordered) item path with multiplicity `count`.
+    ///
+    /// Items must already be filtered to the frequent ones and sorted in
+    /// the tree's global item order — the caller owns that policy.
+    pub fn insert(&mut self, path: &[Item], count: usize) {
+        let mut current = 0; // root
+        for &item in path {
+            current = match self.nodes[current].children.get(&item) {
+                Some(&child) => {
+                    self.nodes[child].count += count;
+                    child
+                }
+                None => {
+                    let id = self.nodes.len();
+                    self.nodes.push(FpNode {
+                        item,
+                        count,
+                        parent: Some(current),
+                        children: HashMap::new(),
+                    });
+                    self.nodes[current].children.insert(item, id);
+                    self.header.entry(item).or_default().push(id);
+                    id
+                }
+            };
+            *self.item_counts.entry(item).or_default() += count;
+        }
+    }
+
+    /// The items present in the tree, with their total counts.
+    pub fn items(&self) -> impl Iterator<Item = (Item, usize)> + '_ {
+        self.item_counts.iter().map(|(&i, &c)| (i, c))
+    }
+
+    /// Total count of one item across the tree (0 if absent).
+    pub fn item_count(&self, item: Item) -> usize {
+        self.item_counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Number of nodes excluding the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// True if the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The *conditional pattern base* of `item`: for each node in its
+    /// chain, the path from its parent up to the root (reversed into
+    /// root-first order) together with the node's count.
+    pub fn conditional_pattern_base(&self, item: Item) -> Vec<(Vec<Item>, usize)> {
+        let Some(chain) = self.header.get(&item) else {
+            return Vec::new();
+        };
+        let mut base = Vec::with_capacity(chain.len());
+        for &node_id in chain {
+            let count = self.nodes[node_id].count;
+            let mut path = Vec::new();
+            let mut cursor = self.nodes[node_id].parent;
+            while let Some(id) = cursor {
+                if id == 0 {
+                    break;
+                }
+                path.push(self.nodes[id].item);
+                cursor = self.nodes[id].parent;
+            }
+            path.reverse();
+            if !path.is_empty() {
+                base.push((path, count));
+            }
+        }
+        base
+    }
+
+    /// Does the tree consist of a single path from the root? (The
+    /// FP-growth base case: all combinations of the path are frequent.)
+    pub fn single_path(&self) -> Option<Vec<(Item, usize)>> {
+        let mut path = Vec::new();
+        let mut current = 0;
+        loop {
+            let children = &self.nodes[current].children;
+            match children.len() {
+                0 => return Some(path),
+                1 => {
+                    let (&item, &id) = children.iter().next().expect("len checked");
+                    path.push((item, self.nodes[id].count));
+                    current = id;
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+impl Default for FpTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().map(|&i| Item(i)).collect()
+    }
+
+    #[test]
+    fn shared_prefixes_are_merged() {
+        let mut t = FpTree::new();
+        t.insert(&items(&[0, 1, 2]), 1);
+        t.insert(&items(&[0, 1, 3]), 1);
+        t.insert(&items(&[0, 1]), 1);
+        // Nodes: 0, 1, 2, 3 -> 4 nodes.
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.item_count(Item(0)), 3);
+        assert_eq!(t.item_count(Item(1)), 3);
+        assert_eq!(t.item_count(Item(2)), 1);
+    }
+
+    #[test]
+    fn multiplicity_counts() {
+        let mut t = FpTree::new();
+        t.insert(&items(&[0, 1]), 5);
+        t.insert(&items(&[0]), 2);
+        assert_eq!(t.item_count(Item(0)), 7);
+        assert_eq!(t.item_count(Item(1)), 5);
+    }
+
+    #[test]
+    fn conditional_pattern_base_extracts_prefix_paths() {
+        let mut t = FpTree::new();
+        t.insert(&items(&[0, 1, 2]), 2);
+        t.insert(&items(&[0, 2]), 1);
+        t.insert(&items(&[2]), 4);
+        let mut base = t.conditional_pattern_base(Item(2));
+        base.sort();
+        assert_eq!(
+            base,
+            vec![(items(&[0]), 1), (items(&[0, 1]), 2)],
+            "the empty prefix from the bare `2` path is dropped"
+        );
+    }
+
+    #[test]
+    fn single_path_detection() {
+        let mut t = FpTree::new();
+        assert_eq!(t.single_path(), Some(vec![]));
+        t.insert(&items(&[0, 1, 2]), 3);
+        assert_eq!(
+            t.single_path(),
+            Some(vec![(Item(0), 3), (Item(1), 3), (Item(2), 3)])
+        );
+        t.insert(&items(&[0, 3]), 1);
+        assert_eq!(t.single_path(), None);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = FpTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.node_count(), 0);
+        assert!(t.conditional_pattern_base(Item(0)).is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Maximal frequent itemset (MFI) mining.
+//!
+//! A frequent itemset is *maximal* when no proper superset is frequent.
+//! Maximal itemsets are the third member of the classic compression
+//! hierarchy `MFI ⊆ FCI ⊆ FI`: smaller than the closed set but lossy
+//! (supports of subsets are not recoverable). Included to complete the
+//! baseline family around the paper's closed-itemset compression story.
+
+use utdb::{Item, TidSet, UncertainDatabase};
+
+use crate::MinedItemset;
+
+/// Mine all maximal frequent itemsets directly: depth-first over the
+/// vertical layout, emitting a node only when no frequent extension by
+/// *any* other item exists.
+///
+/// # Examples
+///
+/// ```
+/// use utdb::UncertainDatabase;
+/// let db = UncertainDatabase::parse_symbolic(&[
+///     ("a b c", 1.0),
+///     ("a b", 1.0),
+///     ("c", 1.0),
+/// ]);
+/// // At min_sup 2: frequent sets are {a}, {b}, {c}, {a,b}; maximal are
+/// // {a,b} and {c}.
+/// let mfis = fim::frequent_maximal_itemsets(&db, 2);
+/// let rendered: Vec<String> = mfis.iter().map(|m| db.render(&m.items)).collect();
+/// assert_eq!(rendered, vec!["{a, b}", "{c}"]);
+/// ```
+pub fn frequent_maximal_itemsets(db: &UncertainDatabase, min_sup: usize) -> Vec<MinedItemset> {
+    let min_sup = min_sup.max(1);
+    let mut results: Vec<MinedItemset> = Vec::new();
+    if db.is_empty() {
+        return results;
+    }
+    let singles: Vec<(Item, TidSet)> = (0..db.num_items())
+        .map(|id| Item(id as u32))
+        .filter_map(|item| {
+            let ts = db.tidset_of(item);
+            (ts.count() >= min_sup).then(|| (item, ts.clone()))
+        })
+        .collect();
+    let mut prefix = Vec::new();
+    recurse(db, &singles, &mut prefix, min_sup, &mut results);
+    // The DFS guarantees no frequent single-item extension exists for an
+    // emitted node, which implies maximality (any frequent superset would
+    // imply a frequent one-item extension by downward closure) — but a
+    // node emitted deep in one branch can be subsumed by a maximal set
+    // found in another branch only through items *smaller* than its own,
+    // which the per-node check below rules out by scanning all items.
+    results
+}
+
+fn recurse(
+    db: &UncertainDatabase,
+    equiv: &[(Item, TidSet)],
+    prefix: &mut Vec<Item>,
+    min_sup: usize,
+    results: &mut Vec<MinedItemset>,
+) {
+    for (idx, (item, tids)) in equiv.iter().enumerate() {
+        prefix.push(*item);
+        let mut child: Vec<(Item, TidSet)> = Vec::new();
+        for (other, other_tids) in &equiv[idx + 1..] {
+            let joint = tids.intersection(other_tids);
+            if joint.count() >= min_sup {
+                child.push((*other, joint));
+            }
+        }
+        if child.is_empty() {
+            // No frequent extension to the right; check every other item
+            // (including those ordered before the prefix) for a frequent
+            // superset before declaring maximality.
+            let extendable = (0..db.num_items() as u32).map(Item).any(|e| {
+                prefix.binary_search(&e).is_err()
+                    && tids.intersection_count(db.tidset_of(e)) >= min_sup
+            });
+            if !extendable {
+                results.push(MinedItemset::new(prefix.clone(), tids.count()));
+            }
+        } else {
+            recurse(db, &child, prefix, min_sup, results);
+        }
+        prefix.pop();
+    }
+}
+
+/// Reference implementation: filter a complete frequent-itemset list down
+/// to the maximal ones.
+pub fn maximal_by_filtering(frequent: &[MinedItemset]) -> Vec<MinedItemset> {
+    let mut out = Vec::new();
+    for a in frequent {
+        let maximal = !frequent
+            .iter()
+            .any(|b| b.items.len() > a.items.len() && is_subset(&a.items, &b.items));
+        if maximal {
+            out.push(a.clone());
+        }
+    }
+    out
+}
+
+fn is_subset(a: &[Item], b: &[Item]) -> bool {
+    let mut it = b.iter();
+    'outer: for x in a {
+        for y in it.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed::frequent_closed_itemsets;
+    use crate::fpgrowth::frequent_itemsets_fpgrowth;
+    use crate::sort_canonical;
+    use crate::testutil::random_db;
+
+    #[test]
+    fn matches_filter_reference_on_random_data() {
+        for seed in 60..70 {
+            let db = random_db(seed, 30, 9, 0.45);
+            for min_sup in [1, 3, 7] {
+                let fis = frequent_itemsets_fpgrowth(&db, min_sup);
+                let mut by_filter = maximal_by_filtering(&fis);
+                let mut direct = frequent_maximal_itemsets(&db, min_sup);
+                sort_canonical(&mut by_filter);
+                sort_canonical(&mut direct);
+                assert_eq!(direct, by_filter, "seed={seed} min_sup={min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_hierarchy_holds() {
+        // |MFI| <= |FCI| <= |FI|, and every MFI is closed.
+        for seed in 70..76 {
+            let db = random_db(seed, 30, 9, 0.5);
+            for min_sup in [2, 5] {
+                let fi = frequent_itemsets_fpgrowth(&db, min_sup);
+                let fci = frequent_closed_itemsets(&db, min_sup);
+                let mfi = frequent_maximal_itemsets(&db, min_sup);
+                assert!(mfi.len() <= fci.len());
+                assert!(fci.len() <= fi.len());
+                for m in &mfi {
+                    assert!(
+                        fci.iter().any(|c| c.items == m.items),
+                        "maximal itemset {:?} is not closed",
+                        m.items
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_frequent_itemset_has_a_maximal_cover() {
+        let db = random_db(80, 25, 8, 0.5);
+        let fis = frequent_itemsets_fpgrowth(&db, 2);
+        let mfis = frequent_maximal_itemsets(&db, 2);
+        for f in &fis {
+            assert!(
+                mfis.iter().any(|m| is_subset(&f.items, &m.items)),
+                "{:?} has no maximal cover",
+                f.items
+            );
+        }
+    }
+
+    #[test]
+    fn single_maximal_set_when_all_rows_identical() {
+        let db = UncertainDatabase::parse_symbolic(&[("a b c", 1.0), ("a b c", 1.0)]);
+        let mfis = frequent_maximal_itemsets(&db, 2);
+        assert_eq!(mfis.len(), 1);
+        assert_eq!(db.render(&mfis[0].items), "{a, b, c}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let db = UncertainDatabase::new(vec![], utdb::ItemDictionary::new());
+        assert!(frequent_maximal_itemsets(&db, 1).is_empty());
+        assert!(maximal_by_filtering(&[]).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! The expected-support model and the U-Apriori miner (Chui, Kao & Hung,
+//! PAKDD'07).
+//!
+//! Here an itemset's significance is its *expected support*
+//! `Σ_{T ⊇ X} Pr(T)` — a single number instead of a distribution. The
+//! expected support is anti-monotone, so plain Apriori applies with the
+//! count replaced by the probability sum. Included as the second baseline
+//! family from the related-work section.
+
+use utdb::{Item, TidSet, UncertainDatabase};
+
+/// An itemset mined under the expected-support model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectedItemset {
+    /// The itemset, sorted ascending.
+    pub items: Vec<Item>,
+    /// Its expected support `Σ_{T ⊇ X} Pr(T)`.
+    pub expected_support: f64,
+}
+
+/// Mine all itemsets whose expected support is at least `min_esup`
+/// (U-Apriori, realized depth-first over the vertical layout — the result
+/// set is identical to the level-wise original).
+///
+/// # Examples
+///
+/// ```
+/// use utdb::UncertainDatabase;
+/// let db = UncertainDatabase::parse_symbolic(&[("a b", 0.8), ("a", 0.5)]);
+/// let out = pfim::expected_frequent_itemsets(&db, 1.0);
+/// // E[sup({a})] = 1.3, E[sup({b})] = 0.8, E[sup({a,b})] = 0.8.
+/// assert_eq!(out.len(), 1);
+/// assert!((out[0].expected_support - 1.3).abs() < 1e-12);
+/// ```
+pub fn expected_frequent_itemsets(db: &UncertainDatabase, min_esup: f64) -> Vec<ExpectedItemset> {
+    assert!(min_esup > 0.0, "min_esup must be positive");
+    let singles: Vec<(Item, TidSet)> = (0..db.num_items())
+        .map(|id| Item(id as u32))
+        .filter_map(|item| {
+            let ts = db.tidset_of(item);
+            (esup(db, ts) >= min_esup).then(|| (item, ts.clone()))
+        })
+        .collect();
+    let mut results = Vec::new();
+    let mut prefix = Vec::new();
+    recurse(db, &singles, &mut prefix, min_esup, &mut results);
+    results
+}
+
+fn esup(db: &UncertainDatabase, tids: &TidSet) -> f64 {
+    tids.iter().map(|tid| db.probability(tid)).sum()
+}
+
+fn recurse(
+    db: &UncertainDatabase,
+    equiv: &[(Item, TidSet)],
+    prefix: &mut Vec<Item>,
+    min_esup: f64,
+    results: &mut Vec<ExpectedItemset>,
+) {
+    for (idx, (item, tids)) in equiv.iter().enumerate() {
+        prefix.push(*item);
+        results.push(ExpectedItemset {
+            items: prefix.clone(),
+            expected_support: esup(db, tids),
+        });
+        let mut child = Vec::new();
+        for (other, other_tids) in &equiv[idx + 1..] {
+            let joint = tids.intersection(other_tids);
+            if esup(db, &joint) >= min_esup {
+                child.push((*other, joint));
+            }
+        }
+        if !child.is_empty() {
+            recurse(db, &child, prefix, min_esup, results);
+        }
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table2() -> UncertainDatabase {
+        UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 0.9),
+            ("a b c", 0.6),
+            ("a b c", 0.7),
+            ("a b c d", 0.9),
+        ])
+    }
+
+    #[test]
+    fn expected_support_values() {
+        let db = table2();
+        let out = expected_frequent_itemsets(&db, 1.8);
+        // E[sup] = 3.1 for every subset of {a,b,c}; 1.8 for sets with d.
+        assert_eq!(out.len(), 15);
+        for m in &out {
+            let expected =
+                if m.items.len() == 4 || m.items.contains(&db.dictionary().get("d").unwrap()) {
+                    1.8
+                } else {
+                    3.1
+                };
+            assert!(
+                (m.expected_support - expected).abs() < 1e-12,
+                "{:?}",
+                m.items
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let db = table2();
+        let out = expected_frequent_itemsets(&db, 2.0);
+        // Only the 7 subsets of {a,b,c} survive.
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn expected_support_is_anti_monotone_in_results() {
+        let db = table2();
+        let out = expected_frequent_itemsets(&db, 0.5);
+        for m in &out {
+            for drop in 0..m.items.len() {
+                let mut sub = m.items.clone();
+                sub.remove(drop);
+                if sub.is_empty() {
+                    continue;
+                }
+                assert!(db.expected_support(&sub) >= m.expected_support - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_database_expected_support() {
+        let db = table2();
+        for m in expected_frequent_itemsets(&db, 0.5) {
+            assert!((db.expected_support(&m.items) - m.expected_support).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_threshold() {
+        expected_frequent_itemsets(&table2(), 0.0);
+    }
+}

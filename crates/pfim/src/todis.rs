@@ -1,0 +1,294 @@
+//! Mining the complete set of *probabilistic frequent itemsets* (PFIs)
+//! under the probabilistic frequent model — the result set of the TODIS
+//! algorithm (Sun, Cheng, Cheung & Cheng, KDD'10) that feeds the paper's
+//! "Naive" baseline and the PFI counts of Fig. 10.
+//!
+//! An itemset `X` is a PFI when `Pr_F(X) = Pr{ sup(X) ≥ min_sup } > pft`
+//! (Definition 3.5). `Pr_F` is anti-monotone under itemset extension
+//! (`T(X∪e) ⊆ T(X)` implies `sup(X∪e) ≤ sup(X)` in every world), so
+//! depth-first search with tid-set intersection enumerates exactly the
+//! PFIs. A Chernoff–Hoeffding pre-test skips the exact DP when the bound
+//! already refutes frequency.
+//!
+//! The module also implements the *probabilistic support* of the related
+//! work [34] discussed in §II.B: the largest support level `s` such that
+//! `Pr{ sup(X) ≥ s } ≥ pft` — used by the Table IV semantics comparison.
+
+use prob::hoeffding::hoeffding_infrequent;
+use utdb::{Item, TidSet, UncertainDatabase};
+
+use crate::freq_prob::FreqProbScratch;
+
+/// A probabilistic frequent itemset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbabilisticItemset {
+    /// The itemset, sorted ascending.
+    pub items: Vec<Item>,
+    /// `Pr{ sup(X) ≥ min_sup }`.
+    pub frequent_probability: f64,
+    /// Number of transactions possibly containing the itemset.
+    pub count: usize,
+}
+
+/// Mine all probabilistic frequent itemsets.
+///
+/// # Examples
+///
+/// The running example yields 15 PFIs at `min_sup = 2`, `pft = 0.8`
+/// (Example 1.1): every non-empty subset of `{a,b,c,d}`.
+///
+/// ```
+/// use utdb::UncertainDatabase;
+/// let db = UncertainDatabase::parse_symbolic(&[
+///     ("a b c d", 0.9),
+///     ("a b c", 0.6),
+///     ("a b c", 0.7),
+///     ("a b c d", 0.9),
+/// ]);
+/// let pfis = pfim::probabilistic_frequent_itemsets(&db, 2, 0.8);
+/// assert_eq!(pfis.len(), 15);
+/// ```
+pub fn probabilistic_frequent_itemsets(
+    db: &UncertainDatabase,
+    min_sup: usize,
+    pft: f64,
+) -> Vec<ProbabilisticItemset> {
+    assert!((0.0..1.0).contains(&pft), "pft must lie in [0, 1)");
+    let min_sup = min_sup.max(1);
+    let mut scratch = FreqProbScratch::new();
+    let mut results = Vec::new();
+
+    let singles: Vec<(Item, TidSet)> = (0..db.num_items())
+        .map(|id| Item(id as u32))
+        .filter_map(|item| {
+            let tids = db.tidset_of(item);
+            qualify(db, tids, min_sup, pft, &mut scratch).map(|_| (item, tids.clone()))
+        })
+        .collect();
+
+    let mut prefix = Vec::new();
+    recurse(
+        db,
+        &singles,
+        &mut prefix,
+        min_sup,
+        pft,
+        &mut scratch,
+        &mut results,
+    );
+    results
+}
+
+/// Returns `Some(Pr_F)` when the tid-set's frequent probability clears
+/// `pft`, applying the Chernoff–Hoeffding refutation first.
+fn qualify(
+    db: &UncertainDatabase,
+    tids: &TidSet,
+    min_sup: usize,
+    pft: f64,
+    scratch: &mut FreqProbScratch,
+) -> Option<f64> {
+    let count = tids.count();
+    if count < min_sup {
+        return None;
+    }
+    let esup: f64 = tids.iter().map(|tid| db.probability(tid)).sum();
+    if hoeffding_infrequent(esup, count, min_sup, pft) {
+        return None;
+    }
+    let p = scratch.tail(db, tids, min_sup);
+    (p > pft).then_some(p)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    db: &UncertainDatabase,
+    equiv: &[(Item, TidSet)],
+    prefix: &mut Vec<Item>,
+    min_sup: usize,
+    pft: f64,
+    scratch: &mut FreqProbScratch,
+    results: &mut Vec<ProbabilisticItemset>,
+) {
+    for (idx, (item, tids)) in equiv.iter().enumerate() {
+        prefix.push(*item);
+        // Every itemset in `equiv` has already qualified.
+        results.push(ProbabilisticItemset {
+            items: prefix.clone(),
+            frequent_probability: scratch.tail(db, tids, min_sup),
+            count: tids.count(),
+        });
+        let mut child = Vec::new();
+        for (other, other_tids) in &equiv[idx + 1..] {
+            let joint = tids.intersection(other_tids);
+            if qualify(db, &joint, min_sup, pft, scratch).is_some() {
+                child.push((*other, joint));
+            }
+        }
+        if !child.is_empty() {
+            recurse(db, &child, prefix, min_sup, pft, scratch, results);
+        }
+        prefix.pop();
+    }
+}
+
+/// The *probabilistic support* of an itemset under threshold `pft` (the
+/// definition of the related work [34]): the largest `s` with
+/// `Pr{ sup(X) ≥ s } ≥ pft`, or 0 when even `s = 1` fails.
+pub fn probabilistic_support(db: &UncertainDatabase, itemset: &[Item], pft: f64) -> usize {
+    let tids = db.tidset_of_itemset(itemset);
+    let probs: Vec<f64> = tids.iter().map(|tid| db.probability(tid)).collect();
+    let dist = prob::SupportDistribution::new(&probs);
+    // tail(s) is non-increasing in s: scan down from the count.
+    for s in (1..=probs.len()).rev() {
+        if dist.tail(s) >= pft {
+            return s;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utdb::PossibleWorlds;
+
+    fn table2() -> UncertainDatabase {
+        UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 0.9),
+            ("a b c", 0.6),
+            ("a b c", 0.7),
+            ("a b c d", 0.9),
+        ])
+    }
+
+    fn table4() -> UncertainDatabase {
+        // Table IV: Table II plus T5 = {a,b}:0.4 and T6 = {a}:0.4.
+        UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 0.9),
+            ("a b c", 0.6),
+            ("a b c", 0.7),
+            ("a b c d", 0.9),
+            ("a b", 0.4),
+            ("a", 0.4),
+        ])
+    }
+
+    /// Brute-force PFI set over all non-empty subsets of the item space.
+    fn brute_pfis(db: &UncertainDatabase, min_sup: usize, pft: f64) -> Vec<Vec<Item>> {
+        let m = db.num_items();
+        let mut out = Vec::new();
+        for mask in 1u32..(1 << m) {
+            let items: Vec<Item> = (0..m as u32)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(Item)
+                .collect();
+            let p: f64 = PossibleWorlds::new(db)
+                .filter(|&(wmask, _)| {
+                    PossibleWorlds::support_in_world(db, wmask, &items) >= min_sup
+                })
+                .map(|(_, p)| p)
+                .sum();
+            if p > pft {
+                out.push(items);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn running_example_has_15_pfis() {
+        let db = table2();
+        let pfis = probabilistic_frequent_itemsets(&db, 2, 0.8);
+        assert_eq!(pfis.len(), 15);
+        // Paper: 7 itemsets (subsets of {a,b,c}) share probability 0.9726
+        // and the 8 containing d share 0.81.
+        let near = |x: f64, y: f64| (x - y).abs() < 1e-10;
+        let hi = pfis
+            .iter()
+            .filter(|p| near(p.frequent_probability, 0.9726))
+            .count();
+        let lo = pfis
+            .iter()
+            .filter(|p| near(p.frequent_probability, 0.81))
+            .count();
+        assert_eq!((hi, lo), (7, 8));
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for (min_sup, pft) in [(1, 0.5), (2, 0.8), (2, 0.95), (3, 0.3), (4, 0.5)] {
+            let db = table2();
+            let mut got: Vec<Vec<Item>> = probabilistic_frequent_itemsets(&db, min_sup, pft)
+                .into_iter()
+                .map(|p| p.items)
+                .collect();
+            got.sort();
+            assert_eq!(got, brute_pfis(&db, min_sup, pft), "ms={min_sup} pft={pft}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_table4() {
+        let db = table4();
+        for pft in [0.8, 0.9] {
+            let mut got: Vec<Vec<Item>> = probabilistic_frequent_itemsets(&db, 2, pft)
+                .into_iter()
+                .map(|p| p.items)
+                .collect();
+            got.sort();
+            assert_eq!(got, brute_pfis(&db, 2, pft), "pft={pft}");
+        }
+    }
+
+    #[test]
+    fn higher_pft_shrinks_result() {
+        let db = table2();
+        let lo = probabilistic_frequent_itemsets(&db, 2, 0.5).len();
+        let hi = probabilistic_frequent_itemsets(&db, 2, 0.9).len();
+        assert!(hi <= lo);
+    }
+
+    #[test]
+    fn probabilistic_support_of_table4_singletons() {
+        // §II.B: Pr_F({a}) = 0.99 at min_sup 2 in Table IV, so the
+        // probabilistic support of {a} at pft 0.9 is at least 2.
+        let db = table4();
+        let a = vec![db.dictionary().get("a").unwrap()];
+        let ps = probabilistic_support(&db, &a, 0.9);
+        assert!(ps >= 2, "{ps}");
+        // And tail at the reported level must clear the threshold.
+        let probs: Vec<f64> = db
+            .tidset_of_itemset(&a)
+            .iter()
+            .map(|t| db.probability(t))
+            .collect();
+        let dist = prob::SupportDistribution::new(&probs);
+        assert!(dist.tail(ps) >= 0.9);
+        assert!(ps == probs.len() || dist.tail(ps + 1) < 0.9);
+    }
+
+    #[test]
+    fn probabilistic_support_zero_when_nothing_clears() {
+        let db = UncertainDatabase::parse_symbolic(&[("a", 0.1)]);
+        let a = vec![db.dictionary().get("a").unwrap()];
+        assert_eq!(probabilistic_support(&db, &a, 0.9), 0);
+    }
+
+    #[test]
+    fn frequent_probabilities_in_results_are_correct() {
+        let db = table4();
+        for p in probabilistic_frequent_itemsets(&db, 2, 0.5) {
+            let direct = crate::frequent_probability(&db, &p.items, 2);
+            assert!((p.frequent_probability - direct).abs() < 1e-12);
+            assert!(p.frequent_probability > 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pft")]
+    fn rejects_pft_of_one() {
+        probabilistic_frequent_itemsets(&table2(), 2, 1.0);
+    }
+}

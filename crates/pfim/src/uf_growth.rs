@@ -1,0 +1,303 @@
+//! UF-growth (Leung, Mateo & Brajczuk, PAKDD'08) adapted to the
+//! tuple-uncertainty model: pattern growth over a *weighted* FP-tree.
+//!
+//! In the original attribute-uncertainty setting UF-growth merges tree
+//! nodes only when item and probability coincide; under tuple-uncertainty
+//! a transaction exists as a whole with probability `p_T`, so the
+//! expected support of `X` is `Σ_{T ⊇ X} p_T` and the structure
+//! simplifies to an FP-tree with fractional counts — each transaction is
+//! inserted with weight `p_T`. The result set is exactly that of
+//! [`crate::expected::expected_frequent_itemsets`] (U-Apriori); the two
+//! are cross-validated in the tests, mirroring how the original papers
+//! validated UF-growth against U-Apriori.
+
+use std::collections::HashMap;
+
+use utdb::{Item, UncertainDatabase};
+
+use crate::expected::ExpectedItemset;
+
+/// A node of the weighted FP-tree.
+#[derive(Debug)]
+struct Node {
+    item: Item,
+    weight: f64,
+    parent: Option<usize>,
+    children: HashMap<Item, usize>,
+}
+
+/// A weighted (expected-support) FP-tree.
+#[derive(Debug)]
+struct WeightedTree {
+    nodes: Vec<Node>,
+    header: HashMap<Item, Vec<usize>>,
+    item_weights: HashMap<Item, f64>,
+}
+
+impl WeightedTree {
+    fn new() -> Self {
+        Self {
+            nodes: vec![Node {
+                item: Item(u32::MAX),
+                weight: 0.0,
+                parent: None,
+                children: HashMap::new(),
+            }],
+            header: HashMap::new(),
+            item_weights: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, path: &[Item], weight: f64) {
+        let mut current = 0usize;
+        for &item in path {
+            current = match self.nodes[current].children.get(&item) {
+                Some(&child) => {
+                    self.nodes[child].weight += weight;
+                    child
+                }
+                None => {
+                    let id = self.nodes.len();
+                    self.nodes.push(Node {
+                        item,
+                        weight,
+                        parent: Some(current),
+                        children: HashMap::new(),
+                    });
+                    self.nodes[current].children.insert(item, id);
+                    self.header.entry(item).or_default().push(id);
+                    id
+                }
+            };
+            *self.item_weights.entry(item).or_default() += weight;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Weighted conditional pattern base of `item`.
+    fn conditional_base(&self, item: Item) -> Vec<(Vec<Item>, f64)> {
+        let Some(chain) = self.header.get(&item) else {
+            return Vec::new();
+        };
+        let mut base = Vec::with_capacity(chain.len());
+        for &node_id in chain {
+            let weight = self.nodes[node_id].weight;
+            let mut path = Vec::new();
+            let mut cursor = self.nodes[node_id].parent;
+            while let Some(id) = cursor {
+                if id == 0 {
+                    break;
+                }
+                path.push(self.nodes[id].item);
+                cursor = self.nodes[id].parent;
+            }
+            path.reverse();
+            if !path.is_empty() {
+                base.push((path, weight));
+            }
+        }
+        base
+    }
+}
+
+/// Mine all itemsets with expected support at least `min_esup` via
+/// pattern growth over the weighted FP-tree.
+///
+/// # Examples
+///
+/// ```
+/// use utdb::UncertainDatabase;
+/// let db = UncertainDatabase::parse_symbolic(&[("a b", 0.8), ("a", 0.5)]);
+/// let out = pfim::expected_frequent_itemsets_ufgrowth(&db, 1.0);
+/// assert_eq!(out.len(), 1); // only {a} with E[sup] = 1.3
+/// ```
+///
+/// # Panics
+///
+/// Panics if `min_esup` is not positive.
+pub fn expected_frequent_itemsets_ufgrowth(
+    db: &UncertainDatabase,
+    min_esup: f64,
+) -> Vec<ExpectedItemset> {
+    assert!(min_esup > 0.0, "min_esup must be positive");
+
+    // Item order: descending expected support, ties by id.
+    let mut frequent: Vec<(Item, f64)> = (0..db.num_items())
+        .map(|id| Item(id as u32))
+        .map(|item| (item, db.expected_support(&[item])))
+        .filter(|&(_, w)| w >= min_esup)
+        .collect();
+    frequent.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("expected supports are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    let rank: HashMap<Item, usize> = frequent
+        .iter()
+        .enumerate()
+        .map(|(r, &(item, _))| (item, r))
+        .collect();
+
+    let mut tree = WeightedTree::new();
+    let mut path: Vec<Item> = Vec::new();
+    for t in db.transactions() {
+        path.clear();
+        path.extend(t.items().iter().copied().filter(|i| rank.contains_key(i)));
+        path.sort_by_key(|i| rank[i]);
+        if !path.is_empty() {
+            tree.insert(&path, t.probability());
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut suffix = Vec::new();
+    grow(&tree, min_esup, &mut suffix, &mut results);
+    for m in &mut results {
+        m.items.sort_unstable();
+    }
+    results
+}
+
+fn grow(
+    tree: &WeightedTree,
+    min_esup: f64,
+    suffix: &mut Vec<Item>,
+    results: &mut Vec<ExpectedItemset>,
+) {
+    // Floating-point accumulation slack: a conditional weight sum may land
+    // a few ulps under the threshold even when the direct sum clears it.
+    const SLACK: f64 = 1e-9;
+    let mut items: Vec<(Item, f64)> = tree
+        .item_weights
+        .iter()
+        .map(|(&i, &w)| (i, w))
+        .filter(|&(_, w)| w >= min_esup - SLACK)
+        .collect();
+    items.sort_by_key(|&(item, _)| item);
+
+    for (item, weight) in items {
+        suffix.push(item);
+        results.push(ExpectedItemset {
+            items: suffix.clone(),
+            expected_support: weight,
+        });
+        let base = tree.conditional_base(item);
+        let mut cond_weights: HashMap<Item, f64> = HashMap::new();
+        for (path, w) in &base {
+            for &i in path {
+                *cond_weights.entry(i).or_default() += w;
+            }
+        }
+        let mut cond = WeightedTree::new();
+        let mut filtered: Vec<Item> = Vec::new();
+        for (path, w) in &base {
+            filtered.clear();
+            filtered.extend(
+                path.iter()
+                    .copied()
+                    .filter(|i| cond_weights[i] >= min_esup - SLACK),
+            );
+            if !filtered.is_empty() {
+                cond.insert(&filtered, *w);
+            }
+        }
+        if !cond.is_empty() {
+            grow(&cond, min_esup, suffix, results);
+        }
+        suffix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expected::expected_frequent_itemsets;
+
+    fn table2() -> UncertainDatabase {
+        UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 0.9),
+            ("a b c", 0.6),
+            ("a b c", 0.7),
+            ("a b c d", 0.9),
+        ])
+    }
+
+    fn canonical(mut v: Vec<ExpectedItemset>) -> Vec<(Vec<utdb::Item>, f64)> {
+        v.sort_by(|a, b| a.items.cmp(&b.items));
+        v.into_iter().map(|m| (m.items, m.expected_support)).collect()
+    }
+
+    #[test]
+    fn matches_uapriori_on_the_running_example() {
+        let db = table2();
+        for min_esup in [0.5, 1.8, 2.0, 3.0] {
+            let a = canonical(expected_frequent_itemsets(&db, min_esup));
+            let b = canonical(expected_frequent_itemsets_ufgrowth(&db, min_esup));
+            assert_eq!(a.len(), b.len(), "min_esup={min_esup}");
+            for ((ia, sa), (ib, sb)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib);
+                assert!((sa - sb).abs() < 1e-9, "{ia:?}: {sa} vs {sb}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_uapriori_on_random_uncertain_data() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        use utdb::{ItemDictionary, UncertainTransaction};
+        for seed in 0..10 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut rows = Vec::new();
+            while rows.len() < 25 {
+                let items: Vec<Item> = (0..8u32)
+                    .filter(|_| rng.random::<f64>() < 0.45)
+                    .map(Item)
+                    .collect();
+                if items.is_empty() {
+                    continue;
+                }
+                rows.push(UncertainTransaction::new(
+                    items,
+                    0.1 + 0.9 * rng.random::<f64>(),
+                ));
+            }
+            let db = UncertainDatabase::new(rows, ItemDictionary::new());
+            for min_esup in [1.0, 2.5, 5.0] {
+                let a = canonical(expected_frequent_itemsets(&db, min_esup));
+                let b = canonical(expected_frequent_itemsets_ufgrowth(&db, min_esup));
+                assert_eq!(
+                    a.iter().map(|(i, _)| i).collect::<Vec<_>>(),
+                    b.iter().map(|(i, _)| i).collect::<Vec<_>>(),
+                    "seed={seed} min_esup={min_esup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_tree_merges_prefixes() {
+        let mut t = WeightedTree::new();
+        t.insert(&[Item(0), Item(1)], 0.5);
+        t.insert(&[Item(0), Item(1)], 0.25);
+        t.insert(&[Item(0)], 0.5);
+        assert_eq!(t.nodes.len(), 3); // root + 2
+        assert!((t.item_weights[&Item(0)] - 1.25).abs() < 1e-12);
+        assert!((t.item_weights[&Item(1)] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = UncertainDatabase::new(vec![], utdb::ItemDictionary::new());
+        assert!(expected_frequent_itemsets_ufgrowth(&db, 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_threshold() {
+        expected_frequent_itemsets_ufgrowth(&table2(), 0.0);
+    }
+}

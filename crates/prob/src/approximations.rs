@@ -1,0 +1,256 @@
+//! Analytic approximations of the Poisson–binomial tail.
+//!
+//! The exact `O(n·k)` dynamic program dominates the miner's candidate
+//! qualification cost. The literature the paper builds on (Wang, Cheung &
+//! Cheng's Poisson-approximation miner; the standard normal approximation
+//! of Poisson–binomial sums) trades exactness for `O(n)` evaluation.
+//! These are provided both as benchmarkable accelerations and as sanity
+//! oracles for the exact DP:
+//!
+//! * [`tail_normal`] — central-limit approximation with continuity
+//!   correction;
+//! * [`tail_refined_normal`] — the refined normal approximation (RNA) of
+//!   Volkova, adding a skewness correction term;
+//! * [`tail_poisson`] — Poisson approximation, with the **Le Cam** bound
+//!   `‖PB − Poisson(μ)‖_TV ≤ 2 Σ p_i²` quantifying its worst-case error.
+
+/// Moments of a Poisson–binomial distribution needed by the
+/// approximations: mean, variance, and third central moment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonBinomialMoments {
+    /// `μ = Σ p_i`.
+    pub mean: f64,
+    /// `σ² = Σ p_i (1 − p_i)`.
+    pub variance: f64,
+    /// `Σ p_i (1 − p_i)(1 − 2 p_i)` — drives the skewness correction.
+    pub third_central: f64,
+}
+
+impl PoissonBinomialMoments {
+    /// Compute the moments in one pass.
+    pub fn of(probs: &[f64]) -> Self {
+        let mut mean = 0.0;
+        let mut variance = 0.0;
+        let mut third = 0.0;
+        for &p in probs {
+            let q = 1.0 - p;
+            mean += p;
+            variance += p * q;
+            third += p * q * (1.0 - 2.0 * p);
+        }
+        Self {
+            mean,
+            variance,
+            third_central: third,
+        }
+    }
+
+    /// Skewness `γ = m₃ / σ³` (zero for symmetric distributions).
+    pub fn skewness(&self) -> f64 {
+        if self.variance <= 0.0 {
+            0.0
+        } else {
+            self.third_central / self.variance.powf(1.5)
+        }
+    }
+}
+
+/// Standard normal CDF via `erfc` (Abramowitz–Stegun 7.1.26 rational
+/// approximation; absolute error < 1.5e-7 — ample for pruning bounds).
+pub fn phi(x: f64) -> f64 {
+    // Φ(x) = erfc(-x/√2) / 2
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (rational approximation).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Normal approximation with continuity correction:
+/// `Pr{S ≥ k} ≈ 1 − Φ((k − 1/2 − μ)/σ)`.
+pub fn tail_normal(probs: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > probs.len() {
+        return 0.0;
+    }
+    let m = PoissonBinomialMoments::of(probs);
+    if m.variance <= 0.0 {
+        // Deterministic sum.
+        return if m.mean >= k as f64 { 1.0 } else { 0.0 };
+    }
+    let sigma = m.variance.sqrt();
+    let x = (k as f64 - 0.5 - m.mean) / sigma;
+    crate::clamp_prob(1.0 - phi(x))
+}
+
+/// Refined normal approximation (RNA): adds the first Edgeworth
+/// (skewness) correction `γ(1 − x²)φ_pdf(x)/6` to [`tail_normal`], which
+/// markedly improves accuracy for skewed probability vectors.
+pub fn tail_refined_normal(probs: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > probs.len() {
+        return 0.0;
+    }
+    let m = PoissonBinomialMoments::of(probs);
+    if m.variance <= 0.0 {
+        return if m.mean >= k as f64 { 1.0 } else { 0.0 };
+    }
+    let sigma = m.variance.sqrt();
+    let x = (k as f64 - 0.5 - m.mean) / sigma;
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let correction = m.skewness() * (1.0 - x * x) * pdf / 6.0;
+    crate::clamp_prob(1.0 - (phi(x) + correction))
+}
+
+/// Poisson approximation `Pr{S ≥ k} ≈ Pr{Poisson(μ) ≥ k}`, best when all
+/// `p_i` are small. Returns the approximate tail.
+pub fn tail_poisson(probs: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let mu: f64 = probs.iter().sum();
+    if mu == 0.0 {
+        return 0.0;
+    }
+    // Pr{Poisson(mu) <= k-1} summed in log space for stability.
+    let mut term = (-mu).exp(); // Pr{0}
+    let mut cdf = term;
+    for j in 1..k {
+        term *= mu / j as f64;
+        cdf += term;
+    }
+    crate::clamp_prob(1.0 - cdf)
+}
+
+/// The **Le Cam** total-variation bound between the Poisson–binomial law
+/// and `Poisson(μ)`: `2 Σ p_i²`. Any event probability (in particular the
+/// tail) computed under the Poisson approximation is within this bound of
+/// the truth.
+pub fn le_cam_bound(probs: &[f64]) -> f64 {
+    2.0 * probs.iter().map(|p| p * p).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson_binomial::tail_at_least;
+
+    fn uniformish(n: usize, base: f64) -> Vec<f64> {
+        (0..n).map(|i| base + 0.3 * (i as f64 / n as f64)).collect()
+    }
+
+    #[test]
+    fn phi_matches_known_values() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-7);
+        assert!((phi(1.0) - 0.8413447).abs() < 1e-6);
+        assert!((phi(-1.0) - 0.1586553).abs() < 1e-6);
+        assert!((phi(2.326_347_9) - 0.99).abs() < 1e-6);
+        assert!(phi(8.0) > 1.0 - 1e-14);
+    }
+
+    #[test]
+    fn moments_match_definitions() {
+        let probs = [0.2, 0.5, 0.9];
+        let m = PoissonBinomialMoments::of(&probs);
+        assert!((m.mean - 1.6).abs() < 1e-12);
+        assert!((m.variance - (0.16 + 0.25 + 0.09)).abs() < 1e-12);
+        let third: f64 = probs.iter().map(|&p| p * (1.0 - p) * (1.0 - 2.0 * p)).sum();
+        assert!((m.third_central - third).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_tail_is_close_for_large_n() {
+        let probs = uniformish(400, 0.3);
+        for frac in [0.25, 0.35, 0.45, 0.55] {
+            let k = (frac * probs.len() as f64) as usize;
+            let exact = tail_at_least(&probs, k);
+            let approx = tail_normal(&probs, k);
+            assert!(
+                (exact - approx).abs() < 0.02,
+                "k={k}: exact {exact} vs normal {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn refined_normal_beats_plain_normal_on_skewed_input() {
+        // Strongly skewed: most p_i small.
+        let probs: Vec<f64> = (0..300)
+            .map(|i| 0.02 + 0.1 * ((i % 7) as f64 / 7.0))
+            .collect();
+        let mut err_plain = 0.0f64;
+        let mut err_rna = 0.0f64;
+        for k in 10..40 {
+            let exact = tail_at_least(&probs, k);
+            err_plain += (exact - tail_normal(&probs, k)).abs();
+            err_rna += (exact - tail_refined_normal(&probs, k)).abs();
+        }
+        assert!(
+            err_rna <= err_plain + 1e-9,
+            "RNA total error {err_rna} vs plain {err_plain}"
+        );
+    }
+
+    #[test]
+    fn poisson_tail_within_le_cam_bound() {
+        // Small probabilities: Le Cam is tight.
+        let probs: Vec<f64> = (0..500).map(|i| 0.002 + 0.004 * ((i % 5) as f64)).collect();
+        let bound = le_cam_bound(&probs);
+        for k in 0..12 {
+            let exact = tail_at_least(&probs, k);
+            let approx = tail_poisson(&probs, k);
+            assert!(
+                (exact - approx).abs() <= bound + 1e-12,
+                "k={k}: |{exact} - {approx}| > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_approximations_agree_on_edges() {
+        let probs = [0.4, 0.6, 0.2];
+        for f in [tail_normal, tail_refined_normal, tail_poisson] {
+            assert_eq!(f(&probs, 0), 1.0);
+        }
+        assert_eq!(tail_normal(&probs, 4), 0.0);
+        assert_eq!(tail_refined_normal(&probs, 4), 0.0);
+    }
+
+    #[test]
+    fn deterministic_vectors() {
+        let ones = [1.0; 5];
+        assert_eq!(tail_normal(&ones, 5), 1.0);
+        assert_eq!(tail_normal(&ones, 3), 1.0);
+        assert_eq!(tail_refined_normal(&ones, 5), 1.0);
+        let zeros = [0.0; 5];
+        assert_eq!(tail_normal(&zeros, 1), 0.0);
+        assert_eq!(tail_poisson(&zeros, 1), 0.0);
+    }
+
+    #[test]
+    fn le_cam_bound_scales_with_squares() {
+        assert_eq!(le_cam_bound(&[]), 0.0);
+        assert!((le_cam_bound(&[0.1, 0.2]) - 2.0 * (0.01 + 0.04)).abs() < 1e-12);
+    }
+}

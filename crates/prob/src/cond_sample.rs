@@ -1,0 +1,288 @@
+//! Sampling Bernoulli vectors conditioned on a minimum number of successes.
+//!
+//! The Karp–Luby estimator for the frequent non-closed probability must
+//! draw possible worlds *conditioned on* an event of the form "all tuples
+//! of a set are absent AND at least `min_sup` of the tuples of another set
+//! are present". Absence is trivial; presence-with-a-floor is a Poisson–
+//! binomial sum conditioned on `S ≥ k`, sampled here exactly.
+//!
+//! Two strategies, chosen automatically:
+//!
+//! * **Rejection**: draw unconditioned vectors until one has `≥ k`
+//!   successes. Exact, `O(n)` memory, expected `1 / Pr{S ≥ k}` attempts —
+//!   used when the conditioning event is likely.
+//! * **Suffix-DP**: precompute `R[i][j] = Pr{ ≥ j successes among trials
+//!   i..n }` and walk the trials, drawing each with its exact conditional
+//!   probability `p_i · R[i+1][j−1] / R[i][j]`. `O(n·k)` memory, `O(n)` per
+//!   sample — used when the event is rare and rejection would thrash.
+
+use rand::{Rng, RngExt};
+
+use crate::poisson_binomial::tail_at_least;
+
+/// Rejection is preferred while the acceptance probability is at least this.
+const REJECTION_THRESHOLD: f64 = 0.2;
+
+enum Strategy {
+    Rejection,
+    /// Flattened `(n+1) × (k+1)` suffix table `R[i][j]`.
+    SuffixDp(Vec<f64>),
+}
+
+/// Exact sampler for independent Bernoulli trials conditioned on at least
+/// `k` successes.
+///
+/// # Examples
+///
+/// ```
+/// use prob::ConditionalBernoulliSampler;
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// let s = ConditionalBernoulliSampler::new(vec![0.3, 0.5, 0.2], 2);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut world = Vec::new();
+/// s.sample_into(&mut rng, &mut world);
+/// assert!(world.iter().filter(|&&b| b).count() >= 2);
+/// ```
+pub struct ConditionalBernoulliSampler {
+    probs: Vec<f64>,
+    k: usize,
+    tail: f64,
+    strategy: Strategy,
+}
+
+impl ConditionalBernoulliSampler {
+    /// Build a sampler for the given success probabilities and floor `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]` or the conditioning
+    /// event `S ≥ k` has probability zero.
+    pub fn new(probs: Vec<f64>, k: usize) -> Self {
+        for &p in &probs {
+            assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        }
+        let tail = tail_at_least(&probs, k);
+        assert!(
+            tail > 0.0,
+            "conditioning event `at least {k} of {}` has probability zero",
+            probs.len()
+        );
+        let strategy = if k == 0 || tail >= REJECTION_THRESHOLD {
+            Strategy::Rejection
+        } else {
+            Strategy::SuffixDp(build_suffix_table(&probs, k))
+        };
+        Self {
+            probs,
+            k,
+            tail,
+            strategy,
+        }
+    }
+
+    /// `Pr{ S ≥ k }` — the probability of the conditioning event.
+    pub fn conditioning_probability(&self) -> f64 {
+        self.tail
+    }
+
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when there are no trials (then necessarily `k == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Draw one vector into `out` (cleared first), distributed exactly as
+    /// the unconditioned product law restricted to `{ S ≥ k }`.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<bool>) {
+        out.clear();
+        match &self.strategy {
+            Strategy::Rejection => loop {
+                out.clear();
+                let mut successes = 0usize;
+                for &p in &self.probs {
+                    let b = rng.random::<f64>() < p;
+                    successes += b as usize;
+                    out.push(b);
+                }
+                if successes >= self.k {
+                    return;
+                }
+            },
+            Strategy::SuffixDp(table) => {
+                let k = self.k;
+                let stride = k + 1;
+                let mut need = k;
+                for (i, &p) in self.probs.iter().enumerate() {
+                    let b = if need == 0 {
+                        rng.random::<f64>() < p
+                    } else {
+                        // Pr(trial i succeeds | ≥ need successes in i..n)
+                        let num = p * table[(i + 1) * stride + (need - 1)];
+                        let den = table[i * stride + need];
+                        debug_assert!(den > 0.0, "entered an impossible DP state");
+                        rng.random::<f64>() < num / den
+                    };
+                    if b && need > 0 {
+                        need -= 1;
+                    }
+                    out.push(b);
+                }
+                debug_assert_eq!(need, 0, "sampler failed to meet the floor");
+            }
+        }
+    }
+}
+
+/// `R[i][j] = Pr{ at least j successes among trials i..n }`, flattened
+/// row-major with stride `k + 1`.
+fn build_suffix_table(probs: &[f64], k: usize) -> Vec<f64> {
+    let n = probs.len();
+    let stride = k + 1;
+    let mut table = vec![0.0f64; (n + 1) * stride];
+    table[n * stride] = 1.0; // R[n][0] = 1
+    for i in (0..n).rev() {
+        let p = probs[i];
+        table[i * stride] = 1.0; // R[i][0] = 1
+        for j in 1..=k {
+            let succeed = table[(i + 1) * stride + (j - 1)];
+            let fail = table[(i + 1) * stride + j];
+            table[i * stride + j] = p * succeed + (1.0 - p) * fail;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn empirical_law(probs: &[f64], k: usize, samples: usize, seed: u64) -> HashMap<u32, f64> {
+        let sampler = ConditionalBernoulliSampler::new(probs.to_vec(), k);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut world = Vec::new();
+        for _ in 0..samples {
+            sampler.sample_into(&mut rng, &mut world);
+            let mask = world
+                .iter()
+                .enumerate()
+                .fold(0u32, |m, (i, &b)| m | ((b as u32) << i));
+            *counts.entry(mask).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(mask, c)| (mask, c as f64 / samples as f64))
+            .collect()
+    }
+
+    fn exact_conditional_law(probs: &[f64], k: usize) -> HashMap<u32, f64> {
+        let n = probs.len();
+        let mut law = HashMap::new();
+        let mut total = 0.0;
+        for mask in 0u32..(1 << n) {
+            let successes = mask.count_ones() as usize;
+            if successes < k {
+                continue;
+            }
+            let mut p = 1.0;
+            for (i, &pi) in probs.iter().enumerate() {
+                p *= if mask >> i & 1 == 1 { pi } else { 1.0 - pi };
+            }
+            law.insert(mask, p);
+            total += p;
+        }
+        law.values_mut().for_each(|p| *p /= total);
+        law
+    }
+
+    fn assert_laws_close(probs: &[f64], k: usize, seed: u64) {
+        let exact = exact_conditional_law(probs, k);
+        let emp = empirical_law(probs, k, 120_000, seed);
+        for (mask, &pe) in &exact {
+            let po = emp.get(mask).copied().unwrap_or(0.0);
+            assert!(
+                (pe - po).abs() < 0.02,
+                "mask {mask:b}: exact {pe} vs empirical {po}"
+            );
+        }
+        // No mass outside the conditioning event.
+        for mask in emp.keys() {
+            assert!(
+                mask.count_ones() as usize >= k,
+                "sampled world violates the floor"
+            );
+        }
+    }
+
+    #[test]
+    fn rejection_mode_matches_exact_law() {
+        // High tail => rejection strategy.
+        assert_laws_close(&[0.6, 0.7, 0.5], 1, 17);
+    }
+
+    #[test]
+    fn suffix_dp_mode_matches_exact_law() {
+        // Low tail => suffix-DP strategy.
+        let probs = [0.1, 0.15, 0.2, 0.1];
+        let sampler = ConditionalBernoulliSampler::new(probs.to_vec(), 3);
+        assert!(matches!(sampler.strategy, Strategy::SuffixDp(_)));
+        assert_laws_close(&probs, 3, 23);
+    }
+
+    #[test]
+    fn floor_zero_is_unconditioned() {
+        assert_laws_close(&[0.3, 0.8], 0, 31);
+    }
+
+    #[test]
+    fn all_trials_forced_when_k_equals_n() {
+        let sampler = ConditionalBernoulliSampler::new(vec![0.2, 0.3, 0.4], 3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut world = Vec::new();
+        for _ in 0..100 {
+            sampler.sample_into(&mut rng, &mut world);
+            assert!(world.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn conditioning_probability_matches_tail() {
+        let probs = [0.25, 0.5, 0.75];
+        let sampler = ConditionalBernoulliSampler::new(probs.to_vec(), 2);
+        assert!((sampler.conditioning_probability() - tail_at_least(&probs, 2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deterministic_trials_are_respected() {
+        // p = 1 trials are always present, p = 0 never.
+        let sampler = ConditionalBernoulliSampler::new(vec![1.0, 0.0, 0.5], 1);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut world = Vec::new();
+        for _ in 0..200 {
+            sampler.sample_into(&mut rng, &mut world);
+            assert!(world[0]);
+            assert!(!world[1]);
+        }
+    }
+
+    #[test]
+    fn suffix_table_head_is_the_tail_probability() {
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let k = 2;
+        let table = build_suffix_table(&probs, k);
+        assert!((table[k] - tail_at_least(&probs, k)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability zero")]
+    fn rejects_impossible_conditioning() {
+        ConditionalBernoulliSampler::new(vec![0.5, 0.5], 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Gaussian sampling via the Box–Muller transform.
+//!
+//! The evaluation of the paper assigns each transaction an existential
+//! probability drawn from a Gaussian distribution (e.g. `N(0.5, 0.5)` for
+//! Mushroom, `N(0.8, 0.1)` for the synthetic dataset) and clamps it into a
+//! valid probability range. `rand_distr` is not available in the offline
+//! dependency set, so the transform is implemented here.
+
+use rand::{Rng, RngExt};
+
+/// Draw one standard-normal variate using the Box–Muller transform.
+///
+/// One of the two variates the transform yields is discarded; sampling here
+/// is never on a hot path (datasets are generated once per run).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] so that ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draw from `N(mean, variance)` and clamp into `[lo, hi]`.
+///
+/// The paper's experimental protocol: a Gaussian-distributed existential
+/// probability, forced to remain a usable probability. `lo` is typically a
+/// small positive value (a tuple with probability exactly 0 never exists
+/// and would be dropped from the database instead).
+///
+/// # Panics
+///
+/// Panics if `variance < 0` or `lo > hi`.
+pub fn clamped_gaussian<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    variance: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(variance >= 0.0, "variance must be non-negative");
+    assert!(lo <= hi, "empty clamp interval");
+    let x = mean + variance.sqrt() * standard_normal(rng);
+    x.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn clamped_gaussian_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let p = clamped_gaussian(&mut rng, 0.5, 0.5, 0.01, 1.0);
+            assert!((0.01..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn zero_variance_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(clamped_gaussian(&mut rng, 0.8, 0.0, 0.0, 1.0), 0.8);
+        }
+    }
+
+    #[test]
+    fn high_variance_actually_clamps() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..10_000 {
+            let p = clamped_gaussian(&mut rng, 0.5, 2.0, 0.05, 0.95);
+            hit_lo |= p == 0.05;
+            hit_hi |= p == 0.95;
+        }
+        assert!(hit_lo && hit_hi, "wide Gaussian should reach both clamps");
+    }
+
+    #[test]
+    #[should_panic(expected = "variance")]
+    fn rejects_negative_variance() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        clamped_gaussian(&mut rng, 0.5, -1.0, 0.0, 1.0);
+    }
+}

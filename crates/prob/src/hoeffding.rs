@@ -1,0 +1,119 @@
+//! Chernoff–Hoeffding tail bounds.
+//!
+//! Lemma 4.1 of the paper prunes probabilistically infrequent itemsets
+//! without running the exact `O(n · min_sup)` dynamic program: if even an
+//! upper *bound* on `Pr{ sup(X) ≥ min_sup }` falls at or below the
+//! threshold `pfct`, then `X` (and, by anti-monotonicity of the frequent
+//! probability, every superset of `X`) cannot be a probabilistic frequent
+//! closed itemset, because `Pr_FC(X) ≤ Pr_F(X)`.
+
+/// Hoeffding upper bound on `Pr{ S ≥ s }` for `S` a sum of `n` independent
+/// random variables in `[0, 1]` with mean `expected`.
+///
+/// Returns `1.0` when `s ≤ expected` (the bound is vacuous there).
+///
+/// # Examples
+///
+/// ```
+/// use prob::hoeffding_tail_upper;
+/// // 100 fair coins, Pr{S >= 80} <= exp(-2 * 30^2 / 100) ≈ 1.5e-8.
+/// let b = hoeffding_tail_upper(50.0, 100, 80.0);
+/// assert!(b < 1e-7);
+/// // Vacuous below the mean.
+/// assert_eq!(hoeffding_tail_upper(50.0, 100, 40.0), 1.0);
+/// ```
+pub fn hoeffding_tail_upper(expected: f64, n: usize, s: f64) -> f64 {
+    let t = s - expected;
+    if t <= 0.0 || n == 0 {
+        return 1.0;
+    }
+    (-2.0 * t * t / n as f64).exp()
+}
+
+/// Chernoff–Hoeffding infrequency test (Lemma 4.1).
+///
+/// Returns `true` when the Hoeffding bound *proves*
+/// `Pr{ sup(X) ≥ min_sup } ≤ pfct`, i.e. the itemset with the given
+/// expected support over `n` candidate transactions is certainly not a
+/// probabilistic frequent (closed) itemset at threshold `pfct` and can be
+/// pruned together with all of its supersets.
+///
+/// `n` should be the number of transactions that *can* contain the itemset
+/// (the bound gets tighter the smaller `n` is, and any valid `n ≥` that
+/// count is sound).
+pub fn hoeffding_infrequent(expected_support: f64, n: usize, min_sup: usize, pfct: f64) -> bool {
+    if min_sup == 0 {
+        // Every itemset trivially has sup >= 0 with probability 1.
+        return false;
+    }
+    if min_sup > n {
+        // Support can never reach min_sup.
+        return true;
+    }
+    hoeffding_tail_upper(expected_support, n, min_sup as f64) <= pfct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson_binomial::tail_at_least;
+
+    #[test]
+    fn bound_dominates_exact_tail() {
+        // The Hoeffding bound must upper-bound the exact Poisson-binomial
+        // tail for every threshold.
+        let probs: Vec<f64> = (0..40).map(|i| 0.1 + 0.02 * i as f64).collect();
+        let mu: f64 = probs.iter().sum();
+        for k in 0..=probs.len() {
+            let exact = tail_at_least(&probs, k);
+            let bound = hoeffding_tail_upper(mu, probs.len(), k as f64);
+            assert!(
+                exact <= bound + 1e-12,
+                "k={k}: exact {exact} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_is_sound() {
+        // Whenever the test says "prune", the exact frequent probability
+        // must really be <= pfct.
+        let probs = [0.3, 0.2, 0.25, 0.4, 0.1, 0.35, 0.15, 0.3];
+        let mu: f64 = probs.iter().sum();
+        for min_sup in 1..=8 {
+            for pfct10 in 1..10 {
+                let pfct = pfct10 as f64 / 10.0;
+                if hoeffding_infrequent(mu, probs.len(), min_sup, pfct) {
+                    let exact = tail_at_least(&probs, min_sup);
+                    assert!(
+                        exact <= pfct + 1e-12,
+                        "unsound prune: min_sup={min_sup} pfct={pfct} exact={exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_clearly_infrequent_itemsets() {
+        // Expected support 1 over 1000 transactions, min_sup 200: the tail
+        // is astronomically small and must be pruned at pfct = 0.8.
+        assert!(hoeffding_infrequent(1.0, 1000, 200, 0.8));
+    }
+
+    #[test]
+    fn keeps_clearly_frequent_itemsets() {
+        // Expected support 900 of 1000, min_sup 500: bound is vacuous.
+        assert!(!hoeffding_infrequent(900.0, 1000, 500, 0.8));
+    }
+
+    #[test]
+    fn min_sup_beyond_n_always_prunes() {
+        assert!(hoeffding_infrequent(3.0, 3, 4, 0.0));
+    }
+
+    #[test]
+    fn min_sup_zero_never_prunes() {
+        assert!(!hoeffding_infrequent(0.0, 10, 0, 0.99));
+    }
+}

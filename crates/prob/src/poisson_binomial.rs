@@ -1,0 +1,328 @@
+//! The Poisson–binomial distribution: the law of the number of successes in
+//! independent, non-identically distributed Bernoulli trials.
+//!
+//! Under the tuple-uncertainty model, the support of an itemset `X` is
+//! exactly Poisson–binomially distributed over the existence probabilities
+//! of the transactions containing `X`. The *frequent probability*
+//! `Pr_F(X) = Pr{ sup(X) ≥ min_sup }` is a tail of this distribution, and
+//! the classic dynamic program of Bernecker et al. / Sun et al. computes it
+//! in `O(n · min_sup)` time.
+
+/// The exact distribution of a sum of independent Bernoulli variables.
+///
+/// Stores the full probability mass function, which costs `O(n²)` to build.
+/// For the tail alone use [`tail_at_least`], which caps the DP at the
+/// threshold and runs in `O(n · k)`.
+///
+/// # Examples
+///
+/// ```
+/// use prob::SupportDistribution;
+/// // Two fair coins: Pr{sum = 1} = 1/2, Pr{sum >= 1} = 3/4.
+/// let d = SupportDistribution::new(&[0.5, 0.5]);
+/// assert!((d.pmf(1) - 0.5).abs() < 1e-12);
+/// assert!((d.tail(1) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupportDistribution {
+    pmf: Vec<f64>,
+}
+
+impl SupportDistribution {
+    /// Build the full PMF from per-trial success probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability lies outside `[0, 1]`.
+    pub fn new(probs: &[f64]) -> Self {
+        for &p in probs {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "Bernoulli probability {p} outside [0, 1]"
+            );
+        }
+        let mut pmf = vec![0.0f64; probs.len() + 1];
+        pmf[0] = 1.0;
+        for (i, &p) in probs.iter().enumerate() {
+            // Process counts descending so each trial is used exactly once.
+            for j in (0..=i).rev() {
+                pmf[j + 1] += pmf[j] * p;
+                pmf[j] *= 1.0 - p;
+            }
+        }
+        Self { pmf }
+    }
+
+    /// Number of trials `n`.
+    pub fn trials(&self) -> usize {
+        self.pmf.len() - 1
+    }
+
+    /// `Pr{ S = j }`; zero for `j > n`.
+    pub fn pmf(&self, j: usize) -> f64 {
+        self.pmf.get(j).copied().unwrap_or(0.0)
+    }
+
+    /// `Pr{ S ≥ j }`; one for `j = 0`, zero for `j > n`.
+    pub fn tail(&self, j: usize) -> f64 {
+        if j == 0 {
+            return 1.0;
+        }
+        crate::clamp_prob(self.pmf.iter().skip(j).sum())
+    }
+
+    /// `Pr{ S ≤ j }`.
+    pub fn cdf(&self, j: usize) -> f64 {
+        crate::clamp_prob(self.pmf.iter().take(j + 1).sum())
+    }
+
+    /// The mean `Σ p_i` recovered from the PMF.
+    pub fn mean(&self) -> f64 {
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| j as f64 * p)
+            .sum()
+    }
+
+    /// Full PMF as a slice, indexed by success count.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// Incorporate one more Bernoulli trial in `O(n)` — incremental
+    /// support-distribution maintenance as an itemset's tid-set grows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside `[0, 1]`.
+    pub fn push(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "Bernoulli probability {p} outside [0, 1]");
+        let n = self.pmf.len();
+        self.pmf.push(0.0);
+        for j in (0..n).rev() {
+            self.pmf[j + 1] += self.pmf[j] * p;
+            self.pmf[j] *= 1.0 - p;
+        }
+    }
+}
+
+/// `Pr{ S ≥ k }` for `S` the sum of independent Bernoulli trials with the
+/// given success probabilities, via the threshold-capped dynamic program.
+///
+/// Runs in `O(n · min(k, n))` time and `O(min(k, n))` space. This is the
+/// polynomial-time frequent-probability routine the paper builds on
+/// (Definition 3.4); state `k` of the DP is absorbing ("already ≥ k").
+///
+/// # Examples
+///
+/// ```
+/// use prob::poisson_binomial::tail_at_least;
+/// // Paper running example, itemset {a,b,c,d} ⊆ T1, T4 with probs .9, .9:
+/// // Pr{sup ≥ 2} = 0.81.
+/// assert!((tail_at_least(&[0.9, 0.9], 2) - 0.81).abs() < 1e-12);
+/// ```
+pub fn tail_at_least(probs: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > probs.len() {
+        return 0.0;
+    }
+    let mut buf = vec![0.0f64; k + 1];
+    tail_at_least_with(probs, k, &mut buf)
+}
+
+/// As [`tail_at_least`], but reusing a caller-provided scratch buffer of
+/// length at least `k + 1` to avoid per-call allocation in hot loops.
+pub fn tail_at_least_with(probs: &[f64], k: usize, scratch: &mut [f64]) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > probs.len() {
+        return 0.0;
+    }
+    let f = &mut scratch[..=k];
+    f.fill(0.0);
+    f[0] = 1.0;
+    // Highest non-absorbing state occupied before the current trial; caps
+    // the inner loop while fewer than `k` trials have been processed.
+    let mut hi = 0usize;
+    for &p in probs {
+        let q = 1.0 - p;
+        if hi >= k - 1 {
+            // Absorbing transition into "support already ≥ k".
+            f[k] += f[k - 1] * p;
+        }
+        let top = (hi + 1).min(k - 1);
+        for j in (1..=top).rev() {
+            f[j] = f[j] * q + f[j - 1] * p;
+        }
+        f[0] *= q;
+        if hi < k {
+            hi += 1;
+        }
+    }
+    crate::clamp_prob(f[k])
+}
+
+/// Expected value `Σ p_i` of the Poisson–binomial sum — the *expected
+/// support* of the itemset in the expected-support model of Chui et al.
+pub fn expected_value(probs: &[f64]) -> f64 {
+    probs.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force tail by enumerating all 2^n outcomes.
+    fn brute_tail(probs: &[f64], k: usize) -> f64 {
+        let n = probs.len();
+        let mut total = 0.0;
+        for mask in 0u32..(1 << n) {
+            let mut p = 1.0;
+            let mut successes = 0usize;
+            for (i, &pi) in probs.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    p *= pi;
+                    successes += 1;
+                } else {
+                    p *= 1.0 - pi;
+                }
+            }
+            if successes >= k {
+                total += p;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn pmf_matches_binomial_for_identical_probs() {
+        let d = SupportDistribution::new(&[0.5; 4]);
+        let expected = [1.0, 4.0, 6.0, 4.0, 1.0].map(|c| c / 16.0);
+        for (j, &e) in expected.iter().enumerate() {
+            assert!((d.pmf(j) - e).abs() < 1e-12, "pmf({j})");
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = SupportDistribution::new(&[0.9, 0.6, 0.7, 0.9, 0.4, 0.4]);
+        let sum: f64 = d.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_equals_sum_of_probs() {
+        let probs = [0.9, 0.6, 0.7, 0.9];
+        let d = SupportDistribution::new(&probs);
+        assert!((d.mean() - 3.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_agrees_with_pmf_sums() {
+        let probs = [0.9, 0.6, 0.7, 0.9];
+        let d = SupportDistribution::new(&probs);
+        for k in 0..=5 {
+            assert!(
+                (d.tail(k) - tail_at_least(&probs, k)).abs() < 1e-12,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_matches_brute_force() {
+        let probs = [0.9, 0.6, 0.7, 0.9, 0.15, 0.33, 0.5];
+        for k in 0..=8 {
+            let fast = tail_at_least(&probs, k);
+            let brute = brute_tail(&probs, k);
+            assert!((fast - brute).abs() < 1e-10, "k={k}: {fast} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn paper_running_example_abcd() {
+        // {abcd} is contained in T1 (0.9) and T4 (0.9); Pr{sup >= 2} = 0.81.
+        assert!((tail_at_least(&[0.9, 0.9], 2) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_running_example_abc() {
+        // {abc} is contained in T1..T4 with probs .9 .6 .7 .9;
+        // Pr{sup >= 2} = 1 - Pr{0} - Pr{1} = 0.9726 (hand computation in
+        // the paper's Example 1.2 working).
+        let t = tail_at_least(&[0.9, 0.6, 0.7, 0.9], 2);
+        assert!((t - 0.9726).abs() < 1e-12, "{t}");
+    }
+
+    #[test]
+    fn tail_edge_cases() {
+        assert_eq!(tail_at_least(&[], 0), 1.0);
+        assert_eq!(tail_at_least(&[], 1), 0.0);
+        assert_eq!(tail_at_least(&[0.4], 2), 0.0);
+        assert_eq!(tail_at_least(&[0.0, 0.0], 1), 0.0);
+        assert_eq!(tail_at_least(&[1.0, 1.0], 2), 1.0);
+    }
+
+    #[test]
+    fn tail_is_monotone_in_k() {
+        let probs = [0.2, 0.8, 0.55, 0.31, 0.99];
+        let mut prev = 1.0;
+        for k in 0..=6 {
+            let t = tail_at_least(&probs, k);
+            assert!(t <= prev + 1e-12, "tail must not increase with k");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn scratch_variant_matches() {
+        let probs = [0.2, 0.8, 0.55, 0.31, 0.99, 0.42];
+        let mut scratch = vec![0.0; 8];
+        for k in 1..=6 {
+            let a = tail_at_least(&probs, k);
+            let b = tail_at_least_with(&probs, k, &mut scratch);
+            assert!((a - b).abs() < 1e-15, "k={k}");
+        }
+    }
+
+    #[test]
+    fn push_matches_batch_construction() {
+        let probs = [0.9, 0.6, 0.7, 0.9, 0.2];
+        let mut incremental = SupportDistribution::new(&[]);
+        for &p in &probs {
+            incremental.push(p);
+        }
+        let batch = SupportDistribution::new(&probs);
+        assert_eq!(incremental.trials(), batch.trials());
+        for (a, b) in incremental.as_slice().iter().zip(batch.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn push_keeps_pmf_normalized() {
+        let mut d = SupportDistribution::new(&[0.5]);
+        d.push(0.25);
+        d.push(1.0);
+        let sum: f64 = d.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // The certain trial shifts all mass up by one.
+        assert_eq!(d.pmf(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_invalid_probability() {
+        SupportDistribution::new(&[1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn push_rejects_invalid_probability() {
+        SupportDistribution::new(&[0.5]).push(-0.1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Bounds on `Pr(A_1 ∪ … ∪ A_m)` from singleton and pairwise joint
+//! probabilities.
+//!
+//! Lemma 4.4 of the paper sandwiches the frequent closed probability
+//! `Pr_FC(X) = Pr_F(X) − Pr(∪ C_i)` using:
+//!
+//! * the **de Caen** lower bound
+//!   `Pr(∪A_i) ≥ Σ_i Pr(A_i)² / Σ_j Pr(A_i ∩ A_j)` (the denominator sums
+//!   over all `j`, including `j = i`), and
+//! * the **Kwerel** upper bound
+//!   `Pr(∪A_i) ≤ min{ Σ_i Pr(A_i) − (2/m) Σ_{i<j} Pr(A_i ∩ A_j), 1 }`.
+//!
+//! Both need only `O(m²)` joint probabilities instead of the `2^m` terms of
+//! full inclusion–exclusion. This module additionally tightens with the
+//! classical Bonferroni bounds (`S1 − S2 ≤ Pr(∪) ≤ S1`) and the trivial
+//! `max_i Pr(A_i) ≤ Pr(∪)`, all of which are always valid.
+
+/// Singleton and pairwise probabilities of a family of events, with the
+/// derived union bounds.
+///
+/// # Examples
+///
+/// ```
+/// use prob::PairwiseUnionBounds;
+/// // Two independent events of probability 1/2: union = 3/4.
+/// let mut b = PairwiseUnionBounds::new(vec![0.5, 0.5]);
+/// b.set_pair(0, 1, 0.25);
+/// assert!(b.lower() <= 0.75 && 0.75 <= b.upper());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PairwiseUnionBounds {
+    singles: Vec<f64>,
+    /// Upper-triangular pairwise joints, row-major: entry for `(i, j)` with
+    /// `i < j` lives at `pair_index(i, j)`.
+    pairs: Vec<f64>,
+    /// Total probability mass of events dropped from the family (see
+    /// [`Self::with_dropped_mass`]); added to the upper bound to keep it
+    /// sound for the *full* union.
+    dropped_mass: f64,
+}
+
+impl PairwiseUnionBounds {
+    /// Create from singleton probabilities; pairwise joints start at zero
+    /// (i.e. assumed disjoint) and should be filled via [`Self::set_pair`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability lies outside `[0, 1]`.
+    pub fn new(singles: Vec<f64>) -> Self {
+        for &p in &singles {
+            assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        }
+        let m = singles.len();
+        Self {
+            singles,
+            pairs: vec![0.0; m * m.saturating_sub(1) / 2],
+            dropped_mass: 0.0,
+        }
+    }
+
+    /// Record that events with total singleton probability `mass` were
+    /// dropped from the family for efficiency. The union of the full family
+    /// is at most the union of the kept events plus `mass`, so `mass` is
+    /// added to [`Self::upper`]; [`Self::lower`] needs no correction (the
+    /// union over a sub-family is a valid lower bound for the full union).
+    pub fn with_dropped_mass(mut self, mass: f64) -> Self {
+        assert!(mass >= 0.0, "dropped mass must be non-negative");
+        self.dropped_mass = mass;
+        self
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.singles.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.singles.is_empty()
+    }
+
+    fn pair_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.singles.len());
+        let m = self.singles.len();
+        // Row i starts after rows 0..i, row r holding (m - 1 - r) entries.
+        i * (2 * m - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// Set `Pr(A_i ∩ A_j)` for `i ≠ j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j`, an index is out of range, or the joint exceeds
+    /// either marginal (up to numerical slack).
+    pub fn set_pair(&mut self, i: usize, j: usize, p: f64) {
+        assert!(i != j, "pairwise joint requires distinct events");
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        assert!(
+            p <= self.singles[i].min(self.singles[j]) + crate::PROB_EPS,
+            "joint {p} exceeds a marginal"
+        );
+        let idx = self.pair_index(i, j);
+        self.pairs[idx] = crate::clamp_prob(p);
+    }
+
+    /// `Pr(A_i ∩ A_j)`.
+    pub fn pair(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return self.singles[i];
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        self.pairs[self.pair_index(i, j)]
+    }
+
+    /// `Pr(A_i)`.
+    pub fn single(&self, i: usize) -> f64 {
+        self.singles[i]
+    }
+
+    /// First Bonferroni sum `S1 = Σ Pr(A_i)`.
+    pub fn s1(&self) -> f64 {
+        self.singles.iter().sum()
+    }
+
+    /// Second Bonferroni sum `S2 = Σ_{i<j} Pr(A_i ∩ A_j)`.
+    pub fn s2(&self) -> f64 {
+        self.pairs.iter().sum()
+    }
+
+    /// de Caen's lower bound on the union probability.
+    pub fn de_caen_lower(&self) -> f64 {
+        let mut total = 0.0;
+        for (i, &pi) in self.singles.iter().enumerate() {
+            if pi <= 0.0 {
+                continue;
+            }
+            let mut denom = 0.0;
+            for j in 0..self.singles.len() {
+                denom += self.pair(i, j);
+            }
+            if denom > 0.0 {
+                total += pi * pi / denom;
+            }
+        }
+        crate::clamp_prob(total)
+    }
+
+    /// Kwerel's upper bound `S1 − (2/m)·S2` on the union probability.
+    pub fn kwerel_upper(&self) -> f64 {
+        let m = self.singles.len();
+        if m == 0 {
+            return 0.0;
+        }
+        crate::clamp_prob(self.s1() - 2.0 * self.s2() / m as f64)
+    }
+
+    /// Best available lower bound on `Pr(∪ A_i)` over the *full* family:
+    /// the maximum of de Caen, Bonferroni `S1 − S2`, and `max_i Pr(A_i)`.
+    pub fn lower(&self) -> f64 {
+        let max_single = self.singles.iter().cloned().fold(0.0, f64::max);
+        let bonferroni = crate::clamp_prob(self.s1() - self.s2());
+        self.de_caen_lower().max(bonferroni).max(max_single)
+    }
+
+    /// Best available upper bound on `Pr(∪ A_i)` over the *full* family:
+    /// the minimum of Kwerel and union-bound `S1`, plus any dropped mass,
+    /// clamped to 1.
+    pub fn upper(&self) -> f64 {
+        if self.singles.is_empty() {
+            return crate::clamp_prob(self.dropped_mass);
+        }
+        let kept = self.kwerel_upper().min(self.s1());
+        crate::clamp_prob(kept + self.dropped_mass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    /// Random family of events over a small discrete world space, with the
+    /// exact union probability to check the bounds against.
+    fn random_family(rng: &mut SmallRng, m: usize, worlds: usize) -> (PairwiseUnionBounds, f64) {
+        // world probabilities
+        let mut wp: Vec<f64> = (0..worlds).map(|_| rng.random::<f64>()).collect();
+        let total: f64 = wp.iter().sum();
+        for p in &mut wp {
+            *p /= total;
+        }
+        // event membership masks
+        let masks: Vec<Vec<bool>> = (0..m)
+            .map(|_| (0..worlds).map(|_| rng.random::<f64>() < 0.3).collect())
+            .collect();
+        let prob_of = |pred: &dyn Fn(usize) -> bool| -> f64 {
+            (0..worlds).filter(|&w| pred(w)).map(|w| wp[w]).sum()
+        };
+        let singles: Vec<f64> = masks.iter().map(|mk| prob_of(&|w| mk[w])).collect();
+        let mut b = PairwiseUnionBounds::new(singles);
+        for i in 0..m {
+            for j in i + 1..m {
+                b.set_pair(i, j, prob_of(&|w| masks[i][w] && masks[j][w]));
+            }
+        }
+        let union = prob_of(&|w| masks.iter().any(|mk| mk[w]));
+        (b, union)
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_union() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for trial in 0..200 {
+            let m = 1 + (trial % 6);
+            let (b, union) = random_family(&mut rng, m, 16);
+            assert!(
+                b.lower() <= union + 1e-9,
+                "trial {trial}: lower {} > union {union}",
+                b.lower()
+            );
+            assert!(
+                union <= b.upper() + 1e-9,
+                "trial {trial}: union {union} > upper {}",
+                b.upper()
+            );
+        }
+    }
+
+    #[test]
+    fn de_caen_below_kwerel() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let (b, _) = random_family(&mut rng, 4, 12);
+            assert!(b.de_caen_lower() <= b.upper() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn disjoint_events_are_exact() {
+        // Three disjoint events: all bounds collapse to S1.
+        let mut b = PairwiseUnionBounds::new(vec![0.2, 0.3, 0.1]);
+        for i in 0..3 {
+            for j in i + 1..3 {
+                b.set_pair(i, j, 0.0);
+            }
+        }
+        assert!((b.lower() - 0.6).abs() < 1e-12);
+        assert!((b.upper() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_events_lower_bound_is_tight() {
+        // Two copies of the same event of probability 0.4.
+        let mut b = PairwiseUnionBounds::new(vec![0.4, 0.4]);
+        b.set_pair(0, 1, 0.4);
+        assert!((b.lower() - 0.4).abs() < 1e-12);
+        assert!(b.upper() >= 0.4);
+    }
+
+    #[test]
+    fn empty_family() {
+        let b = PairwiseUnionBounds::new(vec![]);
+        assert_eq!(b.lower(), 0.0);
+        assert_eq!(b.upper(), 0.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn dropped_mass_inflates_upper_only() {
+        let b = PairwiseUnionBounds::new(vec![0.2]).with_dropped_mass(0.05);
+        assert!((b.upper() - 0.25).abs() < 1e-12);
+        assert!((b.lower() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_mass_soundness_against_full_family() {
+        // Drop one event from a family and verify upper() still dominates
+        // the exact union of the *full* family.
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..100 {
+            let (full, union) = random_family(&mut rng, 5, 16);
+            let kept: Vec<f64> = (0..4).map(|i| full.single(i)).collect();
+            let mut sub = PairwiseUnionBounds::new(kept).with_dropped_mass(full.single(4));
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    sub.set_pair(i, j, full.pair(i, j));
+                }
+            }
+            assert!(union <= sub.upper() + 1e-9);
+            assert!(sub.lower() <= union + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pair_index_layout_is_bijective() {
+        let m = 7;
+        let b = PairwiseUnionBounds::new(vec![0.1; m]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..m {
+            for j in i + 1..m {
+                assert!(seen.insert(b.pair_index(i, j)));
+            }
+        }
+        assert_eq!(seen.len(), m * (m - 1) / 2);
+        assert_eq!(*seen.iter().max().unwrap(), m * (m - 1) / 2 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds a marginal")]
+    fn rejects_joint_above_marginal() {
+        let mut b = PairwiseUnionBounds::new(vec![0.2, 0.3]);
+        b.set_pair(0, 1, 0.25);
+    }
+}

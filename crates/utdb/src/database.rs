@@ -1,0 +1,318 @@
+//! The uncertain transaction database.
+
+use std::fmt;
+
+use crate::item::{Item, ItemDictionary};
+use crate::tidset::TidSet;
+use crate::transaction::UncertainTransaction;
+
+/// An uncertain transaction database under the tuple-uncertainty model,
+/// with a vertical index (per-item tid-sets) built eagerly.
+///
+/// # Examples
+///
+/// Build the paper's running example (Table II):
+///
+/// ```
+/// use utdb::UncertainDatabase;
+/// let db = UncertainDatabase::parse_symbolic(&[
+///     ("a b c d", 0.9),
+///     ("a b c", 0.6),
+///     ("a b c", 0.7),
+///     ("a b c d", 0.9),
+/// ]);
+/// assert_eq!(db.len(), 4);
+/// assert_eq!(db.num_items(), 4);
+/// let a = db.dictionary().get("a").unwrap();
+/// assert_eq!(db.tidset_of(a).count(), 4);
+/// ```
+#[derive(Clone)]
+pub struct UncertainDatabase {
+    transactions: Vec<UncertainTransaction>,
+    dictionary: ItemDictionary,
+    /// `tidsets[i]` = transactions whose itemset contains item `i`.
+    tidsets: Vec<TidSet>,
+}
+
+impl UncertainDatabase {
+    /// Build a database from transactions and an optional dictionary.
+    ///
+    /// The vertical index covers items `0..=max_id` even if some ids never
+    /// occur (their tid-sets are empty).
+    pub fn new(transactions: Vec<UncertainTransaction>, dictionary: ItemDictionary) -> Self {
+        let n = transactions.len();
+        let num_items = transactions
+            .iter()
+            .flat_map(|t| t.items())
+            .map(|i| i.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(dictionary.len());
+        let mut tidsets = vec![TidSet::new(n); num_items];
+        for (tid, t) in transactions.iter().enumerate() {
+            for &item in t.items() {
+                tidsets[item.index()].insert(tid);
+            }
+        }
+        Self {
+            transactions,
+            dictionary,
+            tidsets,
+        }
+    }
+
+    /// Build from `(symbolic itemset, probability)` pairs, interning the
+    /// whitespace-separated symbols in order of first appearance.
+    ///
+    /// Intended for paper examples and tests; symbols should be listed so
+    /// that first-appearance order equals the desired item order.
+    pub fn parse_symbolic(rows: &[(&str, f64)]) -> Self {
+        let mut dict = ItemDictionary::new();
+        let transactions = rows
+            .iter()
+            .map(|(symbols, p)| {
+                let items: Vec<Item> = symbols.split_whitespace().map(|s| dict.intern(s)).collect();
+                UncertainTransaction::new(items, *p)
+            })
+            .collect();
+        Self::new(transactions, dict)
+    }
+
+    /// Number of transactions `|UTD|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when the database holds no transactions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Number of item ids covered by the vertical index.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.tidsets.len()
+    }
+
+    /// All transactions, tid order.
+    #[inline]
+    pub fn transactions(&self) -> &[UncertainTransaction] {
+        &self.transactions
+    }
+
+    /// The transaction with the given tid.
+    #[inline]
+    pub fn transaction(&self, tid: usize) -> &UncertainTransaction {
+        &self.transactions[tid]
+    }
+
+    /// Existential probability of the transaction with the given tid.
+    #[inline]
+    pub fn probability(&self, tid: usize) -> f64 {
+        self.transactions[tid].probability()
+    }
+
+    /// The symbol dictionary.
+    #[inline]
+    pub fn dictionary(&self) -> &ItemDictionary {
+        &self.dictionary
+    }
+
+    /// Tid-set of a single item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item id is outside the vertical index.
+    #[inline]
+    pub fn tidset_of(&self, item: Item) -> &TidSet {
+        &self.tidsets[item.index()]
+    }
+
+    /// Tid-set of an itemset: the intersection of its items' tid-sets.
+    /// Returns the full universe for the empty itemset.
+    pub fn tidset_of_itemset(&self, itemset: &[Item]) -> TidSet {
+        let mut result = TidSet::full(self.len());
+        for &item in itemset {
+            result.intersect_with(self.tidset_of(item));
+        }
+        result
+    }
+
+    /// The *count* of an itemset (Definition 4.2): how many transactions
+    /// possibly contain it.
+    pub fn count_of_itemset(&self, itemset: &[Item]) -> usize {
+        self.tidset_of_itemset(itemset).count()
+    }
+
+    /// Expected support of an itemset: `Σ_{T ⊇ X} Pr(T)`.
+    pub fn expected_support(&self, itemset: &[Item]) -> f64 {
+        self.tidset_of_itemset(itemset)
+            .iter()
+            .map(|tid| self.probability(tid))
+            .sum()
+    }
+
+    /// Existential probabilities of the transactions in `tids`, ascending
+    /// tid order.
+    pub fn probabilities_of(&self, tids: &TidSet) -> Vec<f64> {
+        tids.iter().map(|tid| self.probability(tid)).collect()
+    }
+
+    /// Dataset statistics in the shape of the paper's Table VIII.
+    pub fn stats(&self) -> DatabaseStats {
+        let lengths: Vec<usize> = self.transactions.iter().map(|t| t.len()).collect();
+        let distinct = self.tidsets.iter().filter(|ts| !ts.is_empty()).count();
+        DatabaseStats {
+            num_transactions: self.len(),
+            num_items: distinct,
+            avg_length: if lengths.is_empty() {
+                0.0
+            } else {
+                lengths.iter().sum::<usize>() as f64 / lengths.len() as f64
+            },
+            max_length: lengths.iter().copied().max().unwrap_or(0),
+            mean_probability: if self.is_empty() {
+                0.0
+            } else {
+                self.transactions
+                    .iter()
+                    .map(|t| t.probability())
+                    .sum::<f64>()
+                    / self.len() as f64
+            },
+        }
+    }
+
+    /// Render an itemset with this database's dictionary.
+    pub fn render(&self, itemset: &[Item]) -> String {
+        self.dictionary.render(itemset)
+    }
+}
+
+impl fmt::Debug for UncertainDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "UncertainDatabase({} transactions, {} items)",
+            self.len(),
+            self.num_items()
+        )
+    }
+}
+
+/// Summary statistics of a database — the columns of the paper's
+/// Table VIII plus the mean existential probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatabaseStats {
+    /// Number of transactions.
+    pub num_transactions: usize,
+    /// Number of distinct items that actually occur.
+    pub num_items: usize,
+    /// Average transaction length.
+    pub avg_length: f64,
+    /// Maximal transaction length.
+    pub max_length: usize,
+    /// Mean existential probability.
+    pub mean_probability: f64,
+}
+
+impl fmt::Display for DatabaseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|D|={} items={} avg_len={:.2} max_len={} mean_p={:.3}",
+            self.num_transactions,
+            self.num_items,
+            self.avg_length,
+            self.max_length,
+            self.mean_probability
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table2() -> UncertainDatabase {
+        UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 0.9),
+            ("a b c", 0.6),
+            ("a b c", 0.7),
+            ("a b c d", 0.9),
+        ])
+    }
+
+    #[test]
+    fn vertical_index_matches_rows() {
+        let db = table2();
+        let d = db.dictionary().get("d").unwrap();
+        assert_eq!(db.tidset_of(d).iter().collect::<Vec<_>>(), vec![0, 3]);
+        let a = db.dictionary().get("a").unwrap();
+        assert_eq!(db.tidset_of(a).count(), 4);
+    }
+
+    #[test]
+    fn itemset_tidset_is_intersection() {
+        let db = table2();
+        let dict = db.dictionary();
+        let abcd: Vec<Item> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|s| dict.get(s).unwrap())
+            .collect();
+        assert_eq!(db.count_of_itemset(&abcd), 2);
+        assert_eq!(db.count_of_itemset(&abcd[..3]), 4);
+    }
+
+    #[test]
+    fn empty_itemset_has_full_tidset() {
+        let db = table2();
+        assert_eq!(db.count_of_itemset(&[]), 4);
+    }
+
+    #[test]
+    fn expected_support_sums_probabilities() {
+        let db = table2();
+        let dict = db.dictionary();
+        let d = dict.get("d").unwrap();
+        assert!((db.expected_support(&[d]) - 1.8).abs() < 1e-12);
+        let a = dict.get("a").unwrap();
+        assert!((db.expected_support(&[a]) - 3.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_table_viii_shape() {
+        let db = table2();
+        let s = db.stats();
+        assert_eq!(s.num_transactions, 4);
+        assert_eq!(s.num_items, 4);
+        assert_eq!(s.max_length, 4);
+        assert!((s.avg_length - 3.5).abs() < 1e-12);
+        assert!((s.mean_probability - 0.775).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_of_follows_tid_order() {
+        let db = table2();
+        let d = db.dictionary().get("d").unwrap();
+        assert_eq!(db.probabilities_of(db.tidset_of(d)), vec![0.9, 0.9]);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = UncertainDatabase::new(vec![], ItemDictionary::new());
+        assert!(db.is_empty());
+        assert_eq!(db.num_items(), 0);
+        assert_eq!(db.stats().num_transactions, 0);
+    }
+
+    #[test]
+    fn render_uses_dictionary() {
+        let db = table2();
+        let dict = db.dictionary();
+        let ab = vec![dict.get("a").unwrap(), dict.get("b").unwrap()];
+        assert_eq!(db.render(&ab), "{a, b}");
+    }
+}

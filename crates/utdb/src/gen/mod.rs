@@ -1,0 +1,90 @@
+//! Dataset generators.
+//!
+//! The paper evaluates on two datasets, neither of which can be shipped
+//! here; both are substituted by structure-preserving generators (see
+//! DESIGN.md §5):
+//!
+//! * [`quest`] — a reimplementation of the IBM Quest synthetic generator
+//!   (Agrawal & Srikant), parameterized to the paper's `T20I10D30KP40`;
+//! * [`mushroom`] — a dense categorical generator mimicking the UCI
+//!   Mushroom dataset (23 attributes, 119 items, fixed-length rows,
+//!   class-correlated values).
+//!
+//! Both produce *certain* databases (probability 1 everywhere); the
+//! paper's protocol then overlays Gaussian existential probabilities via
+//! [`crate::gaussian::assign_gaussian_probabilities`].
+
+pub mod mushroom;
+pub mod quest;
+
+pub use mushroom::MushroomConfig;
+pub use quest::QuestConfig;
+
+use rand::{Rng, RngExt};
+
+/// Draw from a Poisson distribution with the given mean via Knuth's
+/// product-of-uniforms method (fine for the small means used here).
+pub(crate) fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    debug_assert!(mean >= 0.0);
+    if mean == 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut k = 0usize;
+    let mut product: f64 = rng.random();
+    while product > limit {
+        k += 1;
+        product *= rng.random::<f64>();
+    }
+    k
+}
+
+/// Draw from an exponential distribution with the given mean.
+pub(crate) fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = 1.0 - rng.random::<f64>(); // in (0, 1]
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for mean in [0.5, 2.0, 10.0, 20.0] {
+            let n = 50_000;
+            let total: usize = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let emp = total as f64 / n as f64;
+            assert!(
+                (emp - mean).abs() < 0.15 * mean + 0.05,
+                "mean {mean}: {emp}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| exponential(&mut rng, 4.0)).sum();
+        let emp = total / n as f64;
+        assert!((emp - 4.0).abs() < 0.2, "{emp}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(exponential(&mut rng, 1.0) >= 0.0);
+        }
+    }
+}

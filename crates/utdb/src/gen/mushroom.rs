@@ -1,0 +1,245 @@
+//! Mushroom-like dense categorical dataset generator.
+//!
+//! The UCI Mushroom dataset (8124 rows) encodes 23 categorical attributes
+//! (the class plus 22 morphological features) as 119 distinct items; each
+//! row carries exactly one value per attribute. Its density and strong
+//! attribute correlations make closed-itemset mining dramatically more
+//! compact than plain frequent-itemset mining — exactly the property the
+//! paper's compression experiment (Fig. 10) exercises.
+//!
+//! The generator reproduces that structure synthetically: the real
+//! attribute arities (119 items in total), fixed row length 23, and
+//! class-conditional skewed value distributions that induce the strong
+//! cross-attribute correlations.
+
+use rand::{Rng, RngExt};
+
+use crate::database::UncertainDatabase;
+use crate::item::{Item, ItemDictionary};
+use crate::transaction::UncertainTransaction;
+
+/// Arities of the 23 attributes (class first), summing to 119 items as in
+/// the standard itemset encoding of the UCI Mushroom dataset.
+pub const ATTRIBUTE_ARITIES: [usize; 23] = [
+    2,  // class: edible / poisonous
+    6,  // cap-shape
+    4,  // cap-surface
+    10, // cap-color
+    2,  // bruises
+    9,  // odor
+    2,  // gill-attachment
+    2,  // gill-spacing
+    2,  // gill-size
+    12, // gill-color
+    2,  // stalk-shape
+    5,  // stalk-root
+    4,  // stalk-surface-above-ring
+    4,  // stalk-surface-below-ring
+    9,  // stalk-color-above-ring
+    9,  // stalk-color-below-ring
+    1,  // veil-type (constant in the real data)
+    4,  // veil-color
+    3,  // ring-number
+    5,  // ring-type
+    9,  // spore-print-color
+    6,  // population
+    7,  // habitat
+];
+
+/// Number of rows in the real UCI Mushroom dataset.
+pub const REAL_NUM_ROWS: usize = 8124;
+
+/// Bounds of the per-attribute geometric skew: value at rank `r` gets
+/// weight `skew^r` before normalization. The real Mushroom dataset mixes
+/// near-constant attributes (veil-color = white in 97% of rows,
+/// gill-attachment = free in 97%, ring-number = one in 92%) with diverse
+/// ones (cap-color, gill-color); drawing each attribute's skew from this
+/// range reproduces that mix — and the near-constant attributes are what
+/// give Mushroom its long high-support closed itemsets.
+const SKEW_MIN: f64 = 0.03;
+const SKEW_MAX: f64 = 0.55;
+
+/// Configuration of the Mushroom-like generator.
+#[derive(Debug, Clone)]
+pub struct MushroomConfig {
+    /// Number of rows to generate (the real dataset has
+    /// [`REAL_NUM_ROWS`]; the benchmark harness scales this down by
+    /// default).
+    pub num_transactions: usize,
+    /// Probability of the "edible" class.
+    pub edible_fraction: f64,
+}
+
+impl MushroomConfig {
+    /// A Mushroom-like dataset with `num_transactions` rows and the real
+    /// class balance (~51.8% edible).
+    pub fn new(num_transactions: usize) -> Self {
+        Self {
+            num_transactions,
+            edible_fraction: 0.518,
+        }
+    }
+
+    /// Total number of distinct items (119 for the real arities).
+    pub fn num_items() -> usize {
+        ATTRIBUTE_ARITIES.iter().sum()
+    }
+
+    /// Generate a certain database (all probabilities 1).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> UncertainDatabase {
+        // Item id layout: attribute-major. offsets[k] is the id of
+        // attribute k's value 0.
+        let mut offsets = [0usize; 23];
+        let mut acc = 0usize;
+        for (k, &arity) in ATTRIBUTE_ARITIES.iter().enumerate() {
+            offsets[k] = acc;
+            acc += arity;
+        }
+
+        // Class-conditional value distributions: a fixed geometric skew
+        // over a class-specific permutation of the values, derived
+        // deterministically from the caller's RNG so datasets are
+        // reproducible under a seed.
+        // Each attribute draws one skew shared by both classes (how
+        // concentrated its values are) but a class-specific value
+        // permutation (which values the classes prefer).
+        let skews: Vec<f64> = ATTRIBUTE_ARITIES
+            .iter()
+            .map(|_| SKEW_MIN + (SKEW_MAX - SKEW_MIN) * rng.random::<f64>())
+            .collect();
+        let mut cumulative: [Vec<Vec<f64>>; 2] = [Vec::new(), Vec::new()];
+        for class_dists in cumulative.iter_mut() {
+            for (k, &arity) in ATTRIBUTE_ARITIES.iter().enumerate() {
+                let mut order: Vec<usize> = (0..arity).collect();
+                // Fisher-Yates with the session RNG: classes see different
+                // preferred values, creating class-correlated attributes.
+                for i in (1..arity).rev() {
+                    let j = rng.random_range(0..=i);
+                    order.swap(i, j);
+                }
+                let mut weights = vec![0.0f64; arity];
+                for (rank, &v) in order.iter().enumerate() {
+                    weights[v] = skews[k].powi(rank as i32);
+                }
+                let total: f64 = weights.iter().sum();
+                let mut cum = 0.0;
+                let cdf: Vec<f64> = weights
+                    .iter()
+                    .map(|w| {
+                        cum += w / total;
+                        cum
+                    })
+                    .collect();
+                class_dists.push(cdf);
+            }
+        }
+
+        let mut transactions = Vec::with_capacity(self.num_transactions);
+        for _ in 0..self.num_transactions {
+            let class = usize::from(rng.random::<f64>() >= self.edible_fraction);
+            let mut items = Vec::with_capacity(23);
+            for (k, &arity) in ATTRIBUTE_ARITIES.iter().enumerate() {
+                let value = if k == 0 {
+                    class
+                } else {
+                    let u: f64 = rng.random();
+                    cumulative[class][k]
+                        .iter()
+                        .position(|&c| u <= c)
+                        .unwrap_or(arity - 1)
+                };
+                items.push(Item((offsets[k] + value) as u32));
+            }
+            transactions.push(UncertainTransaction::new(items, 1.0));
+        }
+
+        let mut dict = ItemDictionary::new();
+        for (k, &arity) in ATTRIBUTE_ARITIES.iter().enumerate() {
+            for v in 0..arity {
+                dict.intern(&format!("attr{k}={v}"));
+            }
+        }
+        UncertainDatabase::new(transactions, dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arities_sum_to_119() {
+        assert_eq!(MushroomConfig::num_items(), 119);
+        assert_eq!(ATTRIBUTE_ARITIES.len(), 23);
+    }
+
+    #[test]
+    fn rows_have_exactly_one_value_per_attribute() {
+        let db = MushroomConfig::new(300).generate(&mut SmallRng::seed_from_u64(5));
+        let mut offsets = vec![0usize];
+        for &a in &ATTRIBUTE_ARITIES {
+            offsets.push(offsets.last().unwrap() + a);
+        }
+        for t in db.transactions() {
+            assert_eq!(t.len(), 23);
+            for (k, w) in offsets.windows(2).enumerate() {
+                let in_attr = t
+                    .items()
+                    .iter()
+                    .filter(|i| (w[0]..w[1]).contains(&i.index()))
+                    .count();
+                assert_eq!(in_attr, 1, "attribute {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_is_dense_like_mushroom() {
+        // Table VIII: avg length == max length == 23.
+        let db = MushroomConfig::new(500).generate(&mut SmallRng::seed_from_u64(6));
+        let stats = db.stats();
+        assert_eq!(stats.max_length, 23);
+        assert!((stats.avg_length - 23.0).abs() < 1e-12);
+        assert!(stats.num_items <= 119);
+        assert!(stats.num_items >= 60, "items {}", stats.num_items);
+    }
+
+    #[test]
+    fn class_balance_is_respected() {
+        let db = MushroomConfig::new(4000).generate(&mut SmallRng::seed_from_u64(7));
+        let edible = db.tidset_of(Item(0)).count() as f64 / db.len() as f64;
+        assert!((edible - 0.518).abs() < 0.03, "edible fraction {edible}");
+    }
+
+    #[test]
+    fn attributes_correlate_with_class() {
+        // Some non-class item should be strongly class-dependent, which is
+        // what makes the dataset closed-itemset friendly.
+        let db = MushroomConfig::new(3000).generate(&mut SmallRng::seed_from_u64(8));
+        let n = db.len() as f64;
+        let class0 = db.tidset_of(Item(0));
+        let p0 = class0.count() as f64 / n;
+        let mut max_dependence: f64 = 0.0;
+        for id in 2..119u32 {
+            let its = db.tidset_of(Item(id));
+            let p = its.count() as f64 / n;
+            if p < 0.1 {
+                continue;
+            }
+            let joint = its.intersection_count(class0) as f64 / n;
+            max_dependence = max_dependence.max((joint - p * p0).abs());
+        }
+        assert!(max_dependence > 0.05, "max dependence {max_dependence}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = MushroomConfig::new(50).generate(&mut SmallRng::seed_from_u64(9));
+        let b = MushroomConfig::new(50).generate(&mut SmallRng::seed_from_u64(9));
+        for (x, y) in a.transactions().iter().zip(b.transactions()) {
+            assert_eq!(x.items(), y.items());
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! IBM Quest-style synthetic transaction generator.
+//!
+//! Reimplements the generator of Agrawal & Srikant ("Fast Algorithms for
+//! Mining Association Rules", VLDB'94) that produced the paper's
+//! `T20I10D30KP40` dataset: `|T| = 20` average transaction length,
+//! `|I| = 10` average potential-pattern length, `|D| = 30K` transactions,
+//! `N = 40` distinct items.
+//!
+//! Mechanics: a pool of *potential maximal itemsets* is drawn first —
+//! sizes Poisson around `|I|`, contents partially inherited from the
+//! previous pattern to model cross-pattern correlation, picking weights
+//! exponentially distributed. Each transaction then draws a Poisson length
+//! around `|T|` and fills itself with (possibly corrupted) patterns.
+
+use rand::seq::IndexedRandom;
+use rand::{Rng, RngExt};
+
+use super::{exponential, poisson};
+use crate::database::UncertainDatabase;
+use crate::item::{Item, ItemDictionary};
+use crate::transaction::UncertainTransaction;
+
+/// Parameters of the Quest generator.
+#[derive(Debug, Clone)]
+pub struct QuestConfig {
+    /// `|D|`: number of transactions.
+    pub num_transactions: usize,
+    /// `|T|`: average transaction length.
+    pub avg_transaction_len: f64,
+    /// `|I|`: average size of the potential maximal itemsets.
+    pub avg_pattern_len: f64,
+    /// `N`: number of distinct items.
+    pub num_items: usize,
+    /// `|L|`: size of the potential maximal itemset pool.
+    pub num_patterns: usize,
+    /// Fraction of a pattern inherited from its predecessor (the paper's
+    /// generator uses an exponential with mean `correlation`).
+    pub correlation: f64,
+    /// Mean of the per-pattern corruption level.
+    pub corruption_mean: f64,
+    /// Standard deviation of the per-pattern corruption level.
+    pub corruption_dev: f64,
+}
+
+impl QuestConfig {
+    /// The paper's synthetic dataset `T20I10D30KP40` scaled to
+    /// `num_transactions` rows: average transaction length 20, average
+    /// pattern length 10, 40 distinct items.
+    pub fn t20i10_p40(num_transactions: usize) -> Self {
+        Self {
+            num_transactions,
+            avg_transaction_len: 20.0,
+            avg_pattern_len: 10.0,
+            num_items: 40,
+            num_patterns: 50,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            corruption_dev: 0.1,
+        }
+    }
+
+    /// Generate a certain database (all probabilities 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (no items, no transactions).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> UncertainDatabase {
+        assert!(self.num_items > 0, "need at least one item");
+        assert!(self.num_patterns > 0, "need at least one pattern");
+        let all_items: Vec<Item> = (0..self.num_items as u32).map(Item).collect();
+
+        // --- Potential maximal itemset pool -------------------------------
+        let mut patterns: Vec<Vec<Item>> = Vec::with_capacity(self.num_patterns);
+        let mut weights: Vec<f64> = Vec::with_capacity(self.num_patterns);
+        let mut corruption: Vec<f64> = Vec::with_capacity(self.num_patterns);
+        for p in 0..self.num_patterns {
+            let size = poisson(rng, self.avg_pattern_len).clamp(1, self.num_items);
+            let mut items: Vec<Item> = Vec::with_capacity(size);
+            if p > 0 {
+                // Inherit a correlated fraction from the previous pattern.
+                let frac = exponential(rng, self.correlation).min(1.0);
+                let inherit = ((size as f64 * frac).round() as usize).min(patterns[p - 1].len());
+                let mut prev = patterns[p - 1].clone();
+                for _ in 0..inherit {
+                    let idx = rng.random_range(0..prev.len());
+                    items.push(prev.swap_remove(idx));
+                }
+            }
+            while items.len() < size {
+                let candidate = *all_items.choose(rng).expect("non-empty item pool");
+                if !items.contains(&candidate) {
+                    items.push(candidate);
+                }
+            }
+            items.sort_unstable();
+            patterns.push(items);
+            weights.push(exponential(rng, 1.0));
+            corruption.push(
+                (self.corruption_mean + self.corruption_dev * prob::standard_normal(rng))
+                    .clamp(0.0, 1.0),
+            );
+        }
+        let total_weight: f64 = weights.iter().sum();
+        let cumulative: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w / total_weight;
+                Some(*acc)
+            })
+            .collect();
+
+        // --- Transactions ---------------------------------------------------
+        let mut transactions = Vec::with_capacity(self.num_transactions);
+        while transactions.len() < self.num_transactions {
+            let target_len = poisson(rng, self.avg_transaction_len).clamp(1, self.num_items);
+            let mut items: Vec<Item> = Vec::with_capacity(target_len);
+            // Fill with corrupted patterns until the target size is met.
+            let mut guard = 0;
+            while items.len() < target_len && guard < 64 {
+                guard += 1;
+                let u: f64 = rng.random();
+                let pi = cumulative
+                    .iter()
+                    .position(|&c| u <= c)
+                    .unwrap_or(self.num_patterns - 1);
+                // Corrupt: repeatedly drop a random item while a uniform
+                // draw exceeds the pattern's corruption level.
+                let mut chosen = patterns[pi].clone();
+                while chosen.len() > 1 && rng.random::<f64>() > corruption[pi] {
+                    let idx = rng.random_range(0..chosen.len());
+                    chosen.swap_remove(idx);
+                }
+                for item in chosen {
+                    if !items.contains(&item) {
+                        items.push(item);
+                    }
+                }
+            }
+            items.truncate(target_len.max(1));
+            if items.is_empty() {
+                continue;
+            }
+            transactions.push(UncertainTransaction::new(items, 1.0));
+        }
+
+        let mut dict = ItemDictionary::new();
+        for i in 0..self.num_items {
+            dict.intern(&format!("i{i}"));
+        }
+        UncertainDatabase::new(transactions, dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn t20i10_p40_shape_statistics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let db = QuestConfig::t20i10_p40(2000).generate(&mut rng);
+        let stats = db.stats();
+        assert_eq!(stats.num_transactions, 2000);
+        assert!(stats.num_items <= 40);
+        assert!(stats.num_items >= 30, "items {}", stats.num_items);
+        // Average length should be near |T| = 20 (clamped at N = 40).
+        assert!(
+            (stats.avg_length - 20.0).abs() < 3.0,
+            "avg_length {}",
+            stats.avg_length
+        );
+    }
+
+    #[test]
+    fn transactions_are_valid() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let db = QuestConfig::t20i10_p40(500).generate(&mut rng);
+        for t in db.transactions() {
+            assert!(!t.items().is_empty());
+            assert!(t.items().windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            assert!(t.items().iter().all(|i| i.index() < 40));
+            assert_eq!(t.probability(), 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = QuestConfig::t20i10_p40(100).generate(&mut SmallRng::seed_from_u64(3));
+        let b = QuestConfig::t20i10_p40(100).generate(&mut SmallRng::seed_from_u64(3));
+        for (x, y) in a.transactions().iter().zip(b.transactions()) {
+            assert_eq!(x.items(), y.items());
+        }
+    }
+
+    #[test]
+    fn patterns_induce_cooccurrence() {
+        // With pattern-based generation some item pairs must co-occur far
+        // more often than independence would predict.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let db = QuestConfig::t20i10_p40(3000).generate(&mut rng);
+        let n = db.len() as f64;
+        let mut max_lift: f64 = 0.0;
+        for i in 0..40u32 {
+            for j in (i + 1)..40u32 {
+                let a = db.tidset_of(Item(i));
+                let b = db.tidset_of(Item(j));
+                let pa = a.count() as f64 / n;
+                let pb = b.count() as f64 / n;
+                if pa < 0.05 || pb < 0.05 {
+                    continue;
+                }
+                let pab = a.intersection_count(b) as f64 / n;
+                max_lift = max_lift.max(pab / (pa * pb));
+            }
+        }
+        assert!(max_lift > 1.15, "max lift {max_lift}");
+    }
+
+    #[test]
+    fn small_configs_work() {
+        let cfg = QuestConfig {
+            num_transactions: 10,
+            avg_transaction_len: 3.0,
+            avg_pattern_len: 2.0,
+            num_items: 6,
+            num_patterns: 4,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            corruption_dev: 0.1,
+        };
+        let db = cfg.generate(&mut SmallRng::seed_from_u64(1));
+        assert_eq!(db.len(), 10);
+    }
+}

@@ -1,0 +1,199 @@
+//! Plain-text dataset I/O.
+//!
+//! The `.dat` format is the lingua franca of itemset-mining tooling: one
+//! transaction per line, whitespace-separated integer item ids. The
+//! uncertain extension used here appends the existential probability after
+//! a `:` separator; lines without one are read as certain transactions.
+//!
+//! ```text
+//! 1 3 5 : 0.9
+//! 2 3 : 0.45
+//! 1 2 3
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::database::UncertainDatabase;
+use crate::item::{Item, ItemDictionary};
+use crate::transaction::UncertainTransaction;
+
+/// Errors raised when parsing a `.dat` file.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A malformed line, with its 1-based number and a description.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parse a database from `.dat` text.
+///
+/// # Examples
+///
+/// ```
+/// let db = utdb::io::parse_dat("1 2 3 : 0.9\n2 3\n").unwrap();
+/// assert_eq!(db.len(), 2);
+/// assert_eq!(db.transaction(0).probability(), 0.9);
+/// assert_eq!(db.transaction(1).probability(), 1.0);
+/// ```
+pub fn parse_dat(text: &str) -> Result<UncertainDatabase, ParseError> {
+    let mut transactions = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (items_part, prob_part) = match line.split_once(':') {
+            Some((items, prob)) => (items, Some(prob.trim())),
+            None => (line, None),
+        };
+        let mut items = Vec::new();
+        for token in items_part.split_whitespace() {
+            let id: u32 = token.parse().map_err(|_| ParseError::Malformed {
+                line: line_no,
+                reason: format!("invalid item id {token:?}"),
+            })?;
+            items.push(Item(id));
+        }
+        if items.is_empty() {
+            return Err(ParseError::Malformed {
+                line: line_no,
+                reason: "no items before probability".into(),
+            });
+        }
+        let probability = match prob_part {
+            Some(p) => p.parse::<f64>().map_err(|_| ParseError::Malformed {
+                line: line_no,
+                reason: format!("invalid probability {p:?}"),
+            })?,
+            None => 1.0,
+        };
+        if !(probability > 0.0 && probability <= 1.0) {
+            return Err(ParseError::Malformed {
+                line: line_no,
+                reason: format!("probability {probability} outside (0, 1]"),
+            });
+        }
+        transactions.push(UncertainTransaction::new(items, probability));
+    }
+    Ok(UncertainDatabase::new(transactions, ItemDictionary::new()))
+}
+
+/// Read a `.dat` file from disk.
+pub fn read_dat(path: &Path) -> Result<UncertainDatabase, ParseError> {
+    parse_dat(&fs::read_to_string(path)?)
+}
+
+/// Serialize a database into `.dat` text; certain transactions omit the
+/// probability suffix.
+pub fn to_dat(db: &UncertainDatabase) -> String {
+    let mut out = String::new();
+    for t in db.transactions() {
+        let ids: Vec<String> = t.items().iter().map(|i| i.0.to_string()).collect();
+        out.push_str(&ids.join(" "));
+        if t.probability() < 1.0 {
+            let _ = write!(out, " : {}", t.probability());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a database to disk in `.dat` format.
+pub fn write_dat(db: &UncertainDatabase, path: &Path) -> io::Result<()> {
+    fs::write(path, to_dat(db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_probabilities_and_defaults() {
+        let db = parse_dat("1 2 3 : 0.9\n4 5\n# comment\n\n6 : 0.25\n").unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.transaction(0).probability(), 0.9);
+        assert_eq!(db.transaction(1).probability(), 1.0);
+        assert_eq!(db.transaction(2).probability(), 0.25);
+        assert_eq!(db.transaction(0).items(), &[Item(1), Item(2), Item(3)]);
+    }
+
+    #[test]
+    fn round_trip_preserves_content() {
+        let original = parse_dat("1 2 : 0.5\n3\n10 20 30 : 0.125\n").unwrap();
+        let text = to_dat(&original);
+        let reparsed = parse_dat(&text).unwrap();
+        assert_eq!(original.len(), reparsed.len());
+        for (a, b) in original.transactions().iter().zip(reparsed.transactions()) {
+            assert_eq!(a.items(), b.items());
+            assert!((a.probability() - b.probability()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = parse_dat("1 2 : 0.5\n2 3 : 0.75\n").unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join("utdb_io_roundtrip_test.dat");
+        write_dat(&db, &path).unwrap();
+        let back = read_dat(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_item() {
+        let err = parse_dat("1 x 3\n").unwrap_err();
+        assert!(
+            matches!(err, ParseError::Malformed { line: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(parse_dat("1 2 : nope\n").is_err());
+        assert!(parse_dat("1 2 : 0\n").is_err());
+        assert!(parse_dat("1 2 : 1.5\n").is_err());
+    }
+
+    #[test]
+    fn rejects_probability_without_items() {
+        assert!(parse_dat(": 0.5\n").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_dat(Path::new("/nonexistent/xyz.dat")).unwrap_err();
+        assert!(matches!(err, ParseError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Packed bitsets over transaction identifiers.
+//!
+//! The miner's structural prunings (the paper's superset and subset
+//! prunings, Lemmas 4.2/4.3) reduce to *count equality* between an itemset
+//! and a one-item extension, i.e. to subset tests between tid-sets. A flat
+//! `u64` bitset gives branch-free intersection, difference and subset
+//! checks with hardware popcount.
+
+use std::fmt;
+
+/// A fixed-universe bitset over transaction ids `0..universe`.
+///
+/// # Examples
+///
+/// ```
+/// use utdb::TidSet;
+/// let mut a = TidSet::new(10);
+/// a.insert(1);
+/// a.insert(4);
+/// let mut b = TidSet::new(10);
+/// b.insert(4);
+/// assert!(b.is_subset(&a));
+/// assert_eq!(a.intersection(&b).count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TidSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl TidSet {
+    /// An empty set over `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        Self {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// The full set `0..universe`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::new(universe);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let lo = i * 64;
+            let bits = universe.saturating_sub(lo).min(64);
+            *w = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+        }
+        s
+    }
+
+    /// Build from an iterator of tids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tid is out of the universe.
+    pub fn from_tids<I: IntoIterator<Item = usize>>(universe: usize, tids: I) -> Self {
+        let mut s = Self::new(universe);
+        for tid in tids {
+            s.insert(tid);
+        }
+        s
+    }
+
+    /// The universe size this set was created with.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Insert `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= universe`.
+    #[inline]
+    pub fn insert(&mut self, tid: usize) {
+        assert!(tid < self.universe, "tid {tid} out of universe");
+        self.words[tid / 64] |= 1u64 << (tid % 64);
+    }
+
+    /// Remove `tid` if present.
+    #[inline]
+    pub fn remove(&mut self, tid: usize) {
+        if tid < self.universe {
+            self.words[tid / 64] &= !(1u64 << (tid % 64));
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, tid: usize) -> bool {
+        tid < self.universe && self.words[tid / 64] >> (tid % 64) & 1 == 1
+    }
+
+    /// Number of tids in the set (the paper's *count* of an itemset when
+    /// the set is its tid-set, Definition 4.2).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no tid is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∩ other` as a new set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched universes.
+    pub fn intersection(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// `self \ other` as a new set.
+    pub fn difference(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a & !b)
+    }
+
+    /// `self ∪ other` as a new set.
+    pub fn union(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// In-place `self &= other`.
+    pub fn intersect_with(&mut self, other: &Self) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `|self ∩ other|` without allocating.
+    #[inline]
+    pub fn intersection_count(&self, other: &Self) -> usize {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self \ other|` without allocating.
+    #[inline]
+    pub fn difference_count(&self, other: &Self) -> usize {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Is `self ⊆ other`?
+    #[inline]
+    pub fn is_subset(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Do the two sets share no tid?
+    #[inline]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterate the tids in ascending order.
+    pub fn iter(&self) -> TidIter<'_> {
+        TidIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn zip_with(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            universe: self.universe,
+        }
+    }
+}
+
+impl fmt::Debug for TidSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending iterator over the tids of a [`TidSet`].
+pub struct TidIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for TidIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TidSet {
+    type Item = usize;
+    type IntoIter = TidIter<'a>;
+
+    fn into_iter(self) -> TidIter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = TidSet::new(130);
+        assert!(!s.contains(100));
+        s.insert(100);
+        assert!(s.contains(100));
+        assert_eq!(s.count(), 1);
+        s.remove(100);
+        assert!(!s.contains(100));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_set_has_exact_count() {
+        for n in [0, 1, 63, 64, 65, 127, 128, 200] {
+            let s = TidSet::full(n);
+            assert_eq!(s.count(), n, "universe {n}");
+            assert_eq!(s.iter().count(), n);
+        }
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = TidSet::from_tids(70, [0, 3, 64, 69]);
+        let b = TidSet::from_tids(70, [3, 5, 69]);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 69]);
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![0, 64]);
+        assert_eq!(
+            a.union(&b).iter().collect::<Vec<_>>(),
+            vec![0, 3, 5, 64, 69]
+        );
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(a.difference_count(&b), 2);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = TidSet::from_tids(100, [1, 2, 80]);
+        let b = TidSet::from_tids(100, [1, 2, 3, 80]);
+        let c = TidSet::from_tids(100, [50]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn intersect_with_in_place() {
+        let mut a = TidSet::from_tids(10, [0, 1, 2, 3]);
+        let b = TidSet::from_tids(10, [2, 3, 4]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let tids = [0, 63, 64, 127, 128, 191];
+        let s = TidSet::from_tids(192, tids);
+        assert_eq!(s.iter().collect::<Vec<_>>(), tids.to_vec());
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = TidSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn debug_renders_members() {
+        let s = TidSet::from_tids(8, [1, 5]);
+        assert_eq!(format!("{s:?}"), "{1, 5}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_range_panics() {
+        TidSet::new(5).insert(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics() {
+        let a = TidSet::new(5);
+        let b = TidSet::new(6);
+        let _ = a.intersection(&b);
+    }
+}

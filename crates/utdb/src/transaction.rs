@@ -1,0 +1,170 @@
+//! Uncertain transactions: an itemset plus an existential probability.
+
+use crate::item::Item;
+
+/// One tuple of an uncertain transaction database.
+///
+/// The item list is kept sorted and duplicate-free (the invariant every
+/// algorithm in the workspace relies on); the probability is the chance
+/// the tuple exists at all, independent of every other tuple
+/// (tuple-uncertainty model).
+///
+/// # Examples
+///
+/// ```
+/// use utdb::{Item, UncertainTransaction};
+/// let t = UncertainTransaction::new(vec![Item(2), Item(0), Item(2)], 0.9);
+/// assert_eq!(t.items(), &[Item(0), Item(2)]); // sorted, deduplicated
+/// assert_eq!(t.probability(), 0.9);
+/// assert!(t.contains(Item(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainTransaction {
+    items: Vec<Item>,
+    probability: f64,
+}
+
+impl UncertainTransaction {
+    /// Create a transaction, sorting and deduplicating the items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in `(0, 1]` — a tuple that can never
+    /// exist does not belong in the database — or if the itemset is empty.
+    pub fn new(mut items: Vec<Item>, probability: f64) -> Self {
+        assert!(
+            probability > 0.0 && probability <= 1.0,
+            "existential probability {probability} outside (0, 1]"
+        );
+        assert!(!items.is_empty(), "empty transaction");
+        items.sort_unstable();
+        items.dedup();
+        Self { items, probability }
+    }
+
+    /// A certain transaction (probability 1) — lets exact databases be
+    /// represented uniformly.
+    pub fn certain(items: Vec<Item>) -> Self {
+        Self::new(items, 1.0)
+    }
+
+    /// The sorted, duplicate-free itemset.
+    #[inline]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// The existential probability.
+    #[inline]
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Replace the existential probability (used when re-assigning
+    /// Gaussian probabilities to a generated dataset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1]`.
+    pub fn set_probability(&mut self, p: f64) {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "existential probability {p} outside (0, 1]"
+        );
+        self.probability = p;
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Always false: empty transactions are rejected at construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Binary-search membership test.
+    #[inline]
+    pub fn contains(&self, item: Item) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Does this transaction contain every item of the (sorted) slice?
+    pub fn contains_all(&self, itemset: &[Item]) -> bool {
+        // Merge-walk: both sides are sorted.
+        let mut mine = self.items.iter();
+        'outer: for want in itemset {
+            for have in mine.by_ref() {
+                match have.cmp(want) {
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().map(|&i| Item(i)).collect()
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let t = UncertainTransaction::new(items(&[3, 1, 3, 2, 1]), 0.5);
+        assert_eq!(t.items(), &items(&[1, 2, 3])[..]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn certain_transaction_has_probability_one() {
+        let t = UncertainTransaction::certain(items(&[0]));
+        assert_eq!(t.probability(), 1.0);
+    }
+
+    #[test]
+    fn contains_all_merge_walk() {
+        let t = UncertainTransaction::new(items(&[1, 3, 5, 7, 9]), 1.0);
+        assert!(t.contains_all(&items(&[1, 5, 9])));
+        assert!(t.contains_all(&items(&[3])));
+        assert!(t.contains_all(&[]));
+        assert!(!t.contains_all(&items(&[1, 2])));
+        assert!(!t.contains_all(&items(&[0])));
+        assert!(!t.contains_all(&items(&[9, 10])));
+        assert!(!t.contains_all(&items(&[10])));
+    }
+
+    #[test]
+    fn set_probability_validates() {
+        let mut t = UncertainTransaction::certain(items(&[0]));
+        t.set_probability(0.25);
+        assert_eq!(t.probability(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn zero_probability_rejected() {
+        UncertainTransaction::new(items(&[0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn overunit_probability_rejected() {
+        UncertainTransaction::new(items(&[0]), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty transaction")]
+    fn empty_itemset_rejected() {
+        UncertainTransaction::new(vec![], 0.5);
+    }
+}

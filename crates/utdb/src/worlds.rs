@@ -1,0 +1,240 @@
+//! Exhaustive possible-world enumeration.
+//!
+//! Under possible-world semantics an uncertain database with `n` tuples
+//! induces `2^n` exact databases. This module enumerates them all — the
+//! ground-truth oracle behind every correctness test of the miners, and
+//! the direct realization of the paper's Table III. Usable only for small
+//! `n` (capped at [`MAX_WORLD_TUPLES`]).
+
+use crate::database::UncertainDatabase;
+use crate::item::Item;
+
+/// Enumeration beyond this tuple count would exceed `2^24` worlds.
+pub const MAX_WORLD_TUPLES: usize = 24;
+
+/// Iterator over all possible worlds of a database.
+///
+/// Each world is reported as `(mask, probability)`: bit `t` of `mask` set
+/// means the transaction with tid `t` exists in the world.
+///
+/// # Examples
+///
+/// ```
+/// use utdb::{PossibleWorlds, UncertainDatabase};
+/// let db = UncertainDatabase::parse_symbolic(&[("a", 0.9), ("a b", 0.5)]);
+/// let total: f64 = PossibleWorlds::new(&db).map(|(_, p)| p).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// assert_eq!(PossibleWorlds::new(&db).count(), 4);
+/// ```
+pub struct PossibleWorlds<'a> {
+    db: &'a UncertainDatabase,
+    next_mask: u64,
+    end: u64,
+}
+
+impl<'a> PossibleWorlds<'a> {
+    /// Enumerate the worlds of `db`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database holds more than [`MAX_WORLD_TUPLES`] tuples.
+    pub fn new(db: &'a UncertainDatabase) -> Self {
+        assert!(
+            db.len() <= MAX_WORLD_TUPLES,
+            "possible-world enumeration over {} tuples exceeds the {MAX_WORLD_TUPLES}-tuple cap",
+            db.len()
+        );
+        Self {
+            db,
+            next_mask: 0,
+            end: 1u64 << db.len(),
+        }
+    }
+
+    /// Probability of the world described by `mask`.
+    pub fn world_probability(db: &UncertainDatabase, mask: u64) -> f64 {
+        let mut p = 1.0;
+        for tid in 0..db.len() {
+            let pt = db.probability(tid);
+            p *= if mask >> tid & 1 == 1 { pt } else { 1.0 - pt };
+        }
+        p
+    }
+
+    /// Support of `itemset` inside the world described by `mask`.
+    pub fn support_in_world(db: &UncertainDatabase, mask: u64, itemset: &[Item]) -> usize {
+        let tids = db.tidset_of_itemset(itemset);
+        tids.iter().filter(|&tid| mask >> tid & 1 == 1).count()
+    }
+
+    /// Is `itemset` *closed* in the world `mask`?
+    ///
+    /// Closed means: the itemset appears (support ≥ 1) and no proper
+    /// superset has the same support. Following the paper's convention in
+    /// the hardness proof, an itemset absent from the world is *not*
+    /// closed.
+    pub fn is_closed_in_world(db: &UncertainDatabase, mask: u64, itemset: &[Item]) -> bool {
+        let tids = db.tidset_of_itemset(itemset);
+        let present: Vec<usize> = tids.iter().filter(|&tid| mask >> tid & 1 == 1).collect();
+        if present.is_empty() {
+            return false;
+        }
+        // The closure of X in the world is the intersection of the present
+        // supporting transactions; X is closed iff it equals that
+        // intersection, i.e. no item outside X occurs in all of them.
+        for item_id in 0..db.num_items() {
+            let item = Item(item_id as u32);
+            if itemset.contains(&item) {
+                continue;
+            }
+            let its = db.tidset_of(item);
+            if present.iter().all(|&tid| its.contains(tid)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Is `itemset` a *frequent closed* itemset in the world `mask`?
+    pub fn is_frequent_closed_in_world(
+        db: &UncertainDatabase,
+        mask: u64,
+        itemset: &[Item],
+        min_sup: usize,
+    ) -> bool {
+        Self::support_in_world(db, mask, itemset) >= min_sup.max(1)
+            && Self::is_closed_in_world(db, mask, itemset)
+    }
+}
+
+impl Iterator for PossibleWorlds<'_> {
+    type Item = (u64, f64);
+
+    fn next(&mut self) -> Option<(u64, f64)> {
+        if self.next_mask >= self.end {
+            return None;
+        }
+        let mask = self.next_mask;
+        self.next_mask += 1;
+        Some((mask, Self::world_probability(self.db, mask)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table2() -> UncertainDatabase {
+        UncertainDatabase::parse_symbolic(&[
+            ("a b c d", 0.9),
+            ("a b c", 0.6),
+            ("a b c", 0.7),
+            ("a b c d", 0.9),
+        ])
+    }
+
+    fn items(db: &UncertainDatabase, symbols: &str) -> Vec<Item> {
+        symbols
+            .split_whitespace()
+            .map(|s| db.dictionary().get(s).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn world_count_and_total_mass() {
+        let db = table2();
+        let worlds: Vec<_> = PossibleWorlds::new(&db).collect();
+        assert_eq!(worlds.len(), 16);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_world_pw5_probability() {
+        // PW5 = {T1, T2, T3} (T4 absent): 0.9 * 0.6 * 0.7 * 0.1 = 0.0378.
+        let db = table2();
+        let mask = 0b0111;
+        let p = PossibleWorlds::world_probability(&db, mask);
+        assert!((p - 0.0378).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_counts_present_supporting_tuples() {
+        let db = table2();
+        let abcd = items(&db, "a b c d");
+        assert_eq!(PossibleWorlds::support_in_world(&db, 0b1111, &abcd), 2);
+        assert_eq!(PossibleWorlds::support_in_world(&db, 0b0110, &abcd), 0);
+        let abc = items(&db, "a b c");
+        assert_eq!(PossibleWorlds::support_in_world(&db, 0b0110, &abc), 2);
+    }
+
+    #[test]
+    fn closedness_matches_paper_table_iii() {
+        let db = table2();
+        let abc = items(&db, "a b c");
+        let abcd = items(&db, "a b c d");
+        // PW8 = all four tuples: both {abc} (sup 4 > sup(abcd)=2) and
+        // {abcd} are closed.
+        assert!(PossibleWorlds::is_closed_in_world(&db, 0b1111, &abc));
+        assert!(PossibleWorlds::is_closed_in_world(&db, 0b1111, &abcd));
+        // PW4 = {T1, T4}: every present tuple carries d, so {abc} is NOT
+        // closed there, {abcd} is.
+        assert!(!PossibleWorlds::is_closed_in_world(&db, 0b1001, &abc));
+        assert!(PossibleWorlds::is_closed_in_world(&db, 0b1001, &abcd));
+        // {ab} is never closed: c occurs wherever a and b do.
+        let ab = items(&db, "a b");
+        for (mask, _) in PossibleWorlds::new(&db) {
+            assert!(!PossibleWorlds::is_closed_in_world(&db, mask, &ab));
+        }
+    }
+
+    #[test]
+    fn absent_itemset_is_not_closed() {
+        let db = table2();
+        let abc = items(&db, "a b c");
+        assert!(!PossibleWorlds::is_closed_in_world(&db, 0, &abc));
+    }
+
+    #[test]
+    fn frequent_closed_requires_min_sup() {
+        let db = table2();
+        let abcd = items(&db, "a b c d");
+        // world {T1}: sup(abcd)=1, closed but not frequent at min_sup=2.
+        assert!(PossibleWorlds::is_closed_in_world(&db, 0b0001, &abcd));
+        assert!(!PossibleWorlds::is_frequent_closed_in_world(
+            &db, 0b0001, &abcd, 2
+        ));
+        assert!(PossibleWorlds::is_frequent_closed_in_world(
+            &db, 0b1001, &abcd, 2
+        ));
+    }
+
+    #[test]
+    fn frequent_closed_probability_of_paper_examples() {
+        // Σ over worlds where the itemset is frequent closed must equal
+        // the paper's worked values: {abc} -> 0.8754, {abcd} -> 0.81.
+        let db = table2();
+        let abc = items(&db, "a b c");
+        let abcd = items(&db, "a b c d");
+        let mut p_abc = 0.0;
+        let mut p_abcd = 0.0;
+        for (mask, p) in PossibleWorlds::new(&db) {
+            if PossibleWorlds::is_frequent_closed_in_world(&db, mask, &abc, 2) {
+                p_abc += p;
+            }
+            if PossibleWorlds::is_frequent_closed_in_world(&db, mask, &abcd, 2) {
+                p_abcd += p;
+            }
+        }
+        assert!((p_abc - 0.8754).abs() < 1e-10, "{p_abc}");
+        assert!((p_abcd - 0.81).abs() < 1e-10, "{p_abcd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn refuses_oversized_databases() {
+        let rows: Vec<(&str, f64)> = (0..25).map(|_| ("a", 0.5)).collect();
+        let db = UncertainDatabase::parse_symbolic(&rows);
+        let _ = PossibleWorlds::new(&db);
+    }
+}

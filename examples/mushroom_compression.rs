@@ -1,0 +1,57 @@
+//! Compression quality on the Mushroom-like dataset — the paper's Fig. 10
+//! in miniature.
+//!
+//! Compares the sizes of four result sets at each support level:
+//! frequent itemsets (FI) and frequent closed itemsets (FCI) on the exact
+//! data, probabilistic frequent itemsets (PFI) and probabilistic frequent
+//! closed itemsets (PFCI) after Gaussian probabilities are overlaid.
+//!
+//! ```text
+//! cargo run --release --example mushroom_compression
+//! ```
+
+use pfcim::core::{mine, MinerConfig};
+use pfcim::utdb::assign_gaussian_probabilities;
+use pfcim::utdb::gen::MushroomConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(8124);
+    let certain = MushroomConfig::new(800).generate(&mut rng);
+    println!("Mushroom-like dataset: {}", certain.stats());
+
+    // The paper's compression study overlays Gaussian(0.8, 0.1).
+    let uncertain = assign_gaussian_probabilities(&certain, 0.8, 0.1, &mut rng);
+
+    println!(
+        "\n{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "min_sup", "FI", "FCI", "PFI", "PFCI", "FCI/FI", "PFCI/PFI"
+    );
+    for rel in [0.3, 0.25, 0.2, 0.15] {
+        let ms = ((rel * certain.len() as f64) as usize).max(1);
+        let fi = pfcim::fim::frequent_itemsets_fpgrowth(&certain, ms);
+        let fci = pfcim::fim::frequent_closed_itemsets(&certain, ms);
+        let pfi = pfcim::pfim::probabilistic_frequent_itemsets(&uncertain, ms, 0.8);
+        let pfci = mine(&uncertain, &MinerConfig::new(ms, 0.8));
+        println!(
+            "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8.3} {:>9.3}",
+            rel,
+            fi.len(),
+            fci.len(),
+            pfi.len(),
+            pfci.results.len(),
+            fci.len() as f64 / fi.len() as f64,
+            pfci.results.len() as f64 / pfi.len().max(1) as f64,
+        );
+        // Closedness always compresses, never loses frequency info.
+        assert!(fci.len() <= fi.len());
+        assert!(pfci.results.len() <= pfi.len());
+    }
+
+    println!(
+        "\nAs min_sup decreases the closed result set shrinks relative to\n\
+         the full frequent set — probabilistic closed itemsets retain the\n\
+         compression power of their exact counterparts (the paper's Fig 10)."
+    );
+}

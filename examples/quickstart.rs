@@ -1,0 +1,68 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Builds the uncertain transaction database of Table II, enumerates its
+//! possible worlds (Table III), and mines the probabilistic frequent
+//! closed itemsets at `min_sup = 2`, `pfct = 0.8` — recovering the
+//! paper's result set `{a,b,c}: 0.8754` and `{a,b,c,d}: 0.81`.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pfcim::core::{exact_fcp_by_worlds, mine, MinerConfig};
+use pfcim::utdb::{PossibleWorlds, UncertainDatabase};
+
+fn main() {
+    // Table II — the concise form of the traffic-sensor readings of
+    // Table I: four tuples, each with an existential probability.
+    let db = UncertainDatabase::parse_symbolic(&[
+        ("a b c d", 0.9), // T1
+        ("a b c", 0.6),   // T2
+        ("a b c", 0.7),   // T3
+        ("a b c d", 0.9), // T4
+    ]);
+    println!("Uncertain database (Table II): {:?}", db);
+    for (tid, t) in db.transactions().iter().enumerate() {
+        println!(
+            "  T{} {} : {}",
+            tid + 1,
+            db.render(t.items()),
+            t.probability()
+        );
+    }
+
+    // Possible-world semantics (Table III): 2^4 = 16 exact databases.
+    println!("\nPossible worlds (Table III):");
+    let mut total = 0.0;
+    for (mask, p) in PossibleWorlds::new(&db) {
+        let members: Vec<String> = (0..db.len())
+            .filter(|t| mask >> t & 1 == 1)
+            .map(|t| format!("T{}", t + 1))
+            .collect();
+        total += p;
+        println!("  PW{{{}}}: {:.4}", members.join(","), p);
+    }
+    println!("  (total probability {total:.4})");
+
+    // Mine the probabilistic frequent closed itemsets.
+    let config = MinerConfig::new(2, 0.8);
+    let outcome = mine(&db, &config);
+    println!(
+        "\nPFCIs at min_sup=2, pfct=0.8 ({} nodes visited, {:?}):",
+        outcome.stats.nodes_visited, outcome.elapsed
+    );
+    for pfci in &outcome.results {
+        let exact = exact_fcp_by_worlds(&db, &pfci.items, 2);
+        println!(
+            "  {}   (exact by world enumeration: {:.4})",
+            pfci.render(&db),
+            exact
+        );
+    }
+    assert_eq!(outcome.results.len(), 2, "the paper finds exactly two");
+    println!(
+        "\nOut of 15 probabilistic frequent itemsets, only these {} are\n\
+         closed with high probability — the compression the paper is after.",
+        outcome.results.len()
+    );
+}

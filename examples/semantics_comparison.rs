@@ -1,0 +1,91 @@
+//! Why frequent *closed probability* semantics matter — the paper's
+//! Table IV comparison against the probabilistic-support definition of
+//! the earlier work it cites as [34].
+//!
+//! Under the probabilistic-support semantics, the reported "closed"
+//! itemsets flip as the frequency threshold moves ({a} at pft 0.9 but
+//! {ab} at pft 0.8), even though nothing about the data changed. Under
+//! the paper's possible-world semantics the answer is stable: {abc} and
+//! {abcd} are the itemsets that are actually frequent-and-closed in the
+//! probable worlds, at every threshold below their FCP.
+//!
+//! ```text
+//! cargo run --release --example semantics_comparison
+//! ```
+
+use pfcim::core::{exact_fcp_by_worlds, mine, MinerConfig};
+use pfcim::pfim::{frequent_probability, probabilistic_support};
+use pfcim::utdb::{Item, UncertainDatabase};
+
+fn items(db: &UncertainDatabase, s: &str) -> Vec<Item> {
+    s.split_whitespace()
+        .map(|x| db.dictionary().get(x).unwrap())
+        .collect()
+}
+
+fn main() {
+    // Table IV: Table II plus two extra low-probability tuples.
+    let db = UncertainDatabase::parse_symbolic(&[
+        ("a b c d", 0.9),
+        ("a b c", 0.6),
+        ("a b c", 0.7),
+        ("a b c d", 0.9),
+        ("a b", 0.4),
+        ("a", 0.4),
+    ]);
+    println!("Database (Table IV):");
+    for (tid, t) in db.transactions().iter().enumerate() {
+        println!(
+            "  T{} {} : {}",
+            tid + 1,
+            db.render(t.items()),
+            t.probability()
+        );
+    }
+
+    println!("\n-- probabilistic-support semantics ([34]) --");
+    for pft in [0.9, 0.8] {
+        println!("  pft = {pft}:");
+        for s in ["a", "a b", "a b c", "a b c d"] {
+            let x = items(&db, s);
+            println!(
+                "    probabilistic support of {} = {}",
+                db.render(&x),
+                probabilistic_support(&db, &x, pft)
+            );
+        }
+    }
+    println!(
+        "  -> at min_sup 2 the \"closed\" answer flips between {{a}} and\n\
+         {{a, b}} as pft moves from 0.9 to 0.8, despite Pr_F({{a}}) = {:.3}\n\
+         and Pr_F({{a,b}}) = {:.3} both clearing either threshold.",
+        frequent_probability(&db, &items(&db, "a"), 2),
+        frequent_probability(&db, &items(&db, "a b"), 2),
+    );
+
+    println!("\n-- frequent closed probability semantics (this paper) --");
+    for s in ["a", "a b", "a b c", "a b c d"] {
+        let x = items(&db, s);
+        println!(
+            "  Pr_FC({}) = {:.4}",
+            db.render(&x),
+            exact_fcp_by_worlds(&db, &x, 2)
+        );
+    }
+    for pfct in [0.8, 0.7, 0.6, 0.5] {
+        let outcome = mine(&db, &MinerConfig::new(2, pfct));
+        let rendered: Vec<String> = outcome
+            .results
+            .iter()
+            .map(|p| db.render(&p.items))
+            .collect();
+        println!("  pfct = {pfct}: {}", rendered.join("  "));
+    }
+    println!(
+        "\nThe result set is stable: {{a,b,c}} and {{a,b,c,d}} are returned\n\
+         at every threshold they clear, while {{a}} and {{a,b}} — whose\n\
+         frequent closed probabilities are tiny — never appear. The FCP\n\
+         measures the degree to which an itemset is frequent-and-closed\n\
+         across possible worlds, which probabilistic support cannot."
+    );
+}

@@ -1,0 +1,110 @@
+//! The paper's motivating scenario: uncertain traffic-sensor logs.
+//!
+//! An intelligent traffic system records (location, weather, time-slot,
+//! congestion-level) readings whose existence is uncertain because of
+//! sensor noise. Mining probabilistic frequent closed itemsets surfaces
+//! reliable patterns like "the HKUST gate is congested at 2–3 pm when it
+//! rains" without drowning the analyst in redundant sub-patterns.
+//!
+//! ```text
+//! cargo run --release --example traffic_monitoring
+//! ```
+
+use pfcim::core::{mine, MinerConfig};
+use pfcim::utdb::{Item, ItemDictionary, UncertainDatabase, UncertainTransaction};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A simulated sensor fleet: each crossing has a characteristic pattern
+/// plus noise, and each reading carries a confidence from the sensor.
+fn simulate_readings(rng: &mut SmallRng, dict: &mut ItemDictionary) -> Vec<UncertainTransaction> {
+    let locations = ["loc=HKUST-gate", "loc=Clearwater-Bay-Rd", "loc=Hang-Hau"];
+    let weather = ["weather=rain", "weather=clear"];
+    let slots = ["time=07-09", "time=14-15", "time=18-20"];
+    let congestion = ["speed=jammed", "speed=slow", "speed=free"];
+
+    let mut rows = Vec::new();
+    for i in 0..600 {
+        // The monitored crossing reports densely during the afternoon
+        // rain window (1 in 5 readings), so the planted pattern clears
+        // the support threshold the way a real hotspot would.
+        let (loc, wx, slot) = if i % 5 == 0 {
+            ("loc=HKUST-gate", "weather=rain", "time=14-15")
+        } else {
+            (
+                locations[rng.random_range(0..locations.len())],
+                weather[rng.random_range(0..weather.len())],
+                slots[rng.random_range(0..slots.len())],
+            )
+        };
+        // The planted pattern: HKUST gate + rain + afternoon slot jams
+        // with high probability; everything else is mostly free-flowing.
+        let level = if loc == "loc=HKUST-gate" && wx == "weather=rain" && slot == "time=14-15" {
+            if rng.random::<f64>() < 0.9 {
+                "speed=jammed"
+            } else {
+                "speed=slow"
+            }
+        } else {
+            congestion[rng.random_range(1..congestion.len())]
+        };
+        let items: Vec<Item> = [loc, wx, slot, level]
+            .iter()
+            .map(|s| dict.intern(s))
+            .collect();
+        // Sensor confidence: good sensors most of the time, degraded ones
+        // occasionally.
+        let confidence = if rng.random::<f64>() < 0.8 {
+            0.85 + 0.14 * rng.random::<f64>()
+        } else {
+            0.4 + 0.3 * rng.random::<f64>()
+        };
+        rows.push(UncertainTransaction::new(items, confidence));
+    }
+    rows
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2012);
+    let mut dict = ItemDictionary::new();
+    let rows = simulate_readings(&mut rng, &mut dict);
+    let db = UncertainDatabase::new(rows, dict);
+    println!("Sensor log: {}", db.stats());
+
+    // Patterns seen in at least 4% of readings with 90% confidence.
+    let min_sup = db.len() / 25;
+    let config = MinerConfig::new(min_sup, 0.9);
+    let outcome = mine(&db, &config);
+
+    println!(
+        "\nProbabilistic frequent closed patterns (min_sup={min_sup}, pfct=0.9):\n\
+         {} found in {:?} ({} nodes, {} pruned structurally)\n",
+        outcome.results.len(),
+        outcome.elapsed,
+        outcome.stats.nodes_visited,
+        outcome.stats.superset_pruned + outcome.stats.subset_pruned,
+    );
+    let mut ranked = outcome.results.clone();
+    ranked.sort_by(|a, b| b.fcp.partial_cmp(&a.fcp).unwrap());
+    for pfci in ranked.iter().take(12) {
+        println!("  {}", pfci.render(&db));
+    }
+
+    // The planted pattern must surface as (a subset of) a closed pattern
+    // containing the jam indicator.
+    let jam = db.dictionary().get("speed=jammed").expect("interned");
+    let jam_patterns: Vec<_> = outcome
+        .results
+        .iter()
+        .filter(|p| p.items.contains(&jam))
+        .collect();
+    assert!(
+        !jam_patterns.is_empty(),
+        "the planted congestion pattern should be discovered"
+    );
+    println!(
+        "\n{} closed pattern(s) involve a jam — the planted rule\n\
+         (HKUST gate, rain, 14-15h) is recovered from noisy sensors.",
+        jam_patterns.len()
+    );
+}

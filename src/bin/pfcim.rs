@@ -1,0 +1,154 @@
+//! `pfcim` — command-line miner for uncertain transaction data.
+//!
+//! ```text
+//! pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] [--epsilon E] [--delta D]
+//!       [--variant mpfci|bfs|naive] [--stats]
+//! ```
+//!
+//! The input format is one transaction per line: whitespace-separated
+//! integer item ids, optionally followed by `: probability` (lines
+//! without one are certain transactions). Example:
+//!
+//! ```text
+//! 1 2 3 : 0.9
+//! 2 3 : 0.45
+//! 1 2 3
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pfcim::core::{mine, mine_naive, MinerConfig, SearchStrategy};
+use pfcim::utdb::io;
+
+struct Args {
+    file: PathBuf,
+    min_sup_raw: String,
+    pfct: f64,
+    epsilon: f64,
+    delta: f64,
+    variant: String,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut file = None;
+    let mut min_sup_raw = None;
+    let mut pfct = 0.8;
+    let mut epsilon = 0.1;
+    let mut delta = 0.1;
+    let mut variant = "mpfci".to_owned();
+    let mut stats = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            argv.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--min-sup" => min_sup_raw = Some(value("--min-sup")?),
+            "--pfct" => pfct = value("--pfct")?.parse().map_err(|e| format!("pfct: {e}"))?,
+            "--epsilon" => {
+                epsilon = value("--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("epsilon: {e}"))?
+            }
+            "--delta" => {
+                delta = value("--delta")?
+                    .parse()
+                    .map_err(|e| format!("delta: {e}"))?
+            }
+            "--variant" => variant = value("--variant")?,
+            "--stats" => stats = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if file.is_none() && !other.starts_with('-') => file = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        file: file.ok_or("missing input file")?,
+        min_sup_raw: min_sup_raw.ok_or("missing --min-sup")?,
+        pfct,
+        epsilon,
+        delta,
+        variant,
+        stats,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] \
+                 [--epsilon E] [--delta D] [--variant mpfci|bfs|naive] [--stats]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let db = match io::read_dat(&args.file) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", args.file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("loaded {}: {}", args.file.display(), db.stats());
+
+    // --min-sup accepts an absolute count or a percentage like "30%".
+    let min_sup = if let Some(pct) = args.min_sup_raw.strip_suffix('%') {
+        match pct.parse::<f64>() {
+            Ok(r) if r > 0.0 && r <= 100.0 => {
+                ((r / 100.0 * db.len() as f64).round() as usize).max(1)
+            }
+            _ => {
+                eprintln!("error: bad percentage {:?}", args.min_sup_raw);
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match args.min_sup_raw.parse() {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: bad --min-sup: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let config = MinerConfig::new(min_sup, args.pfct).with_approximation(args.epsilon, args.delta);
+    let outcome = match args.variant.as_str() {
+        "mpfci" => mine(&db, &config),
+        "bfs" => {
+            let mut cfg = config;
+            cfg.search = SearchStrategy::Bfs;
+            cfg.pruning.superset = false;
+            cfg.pruning.subset = false;
+            mine(&db, &cfg)
+        }
+        "naive" => mine_naive(&db, &config),
+        other => {
+            eprintln!("error: unknown variant {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for pfci in &outcome.results {
+        let ids: Vec<String> = pfci.items.iter().map(|i| i.0.to_string()).collect();
+        println!("{} : {:.6}", ids.join(" "), pfci.fcp);
+    }
+    eprintln!(
+        "{} probabilistic frequent closed itemsets (min_sup={min_sup}, pfct={}) in {:?}",
+        outcome.results.len(),
+        args.pfct,
+        outcome.elapsed
+    );
+    if args.stats {
+        eprintln!("{}", outcome.stats);
+    }
+    ExitCode::SUCCESS
+}

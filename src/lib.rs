@@ -1,0 +1,22 @@
+//! Facade crate re-exporting the whole `pfcim` workspace under one name.
+//!
+//! The workspace implements *"Discovering Threshold-based Frequent Closed
+//! Itemsets over Probabilistic Data"* (Tong, Chen & Ding, ICDE 2012); see
+//! the individual crates for the full documentation:
+//!
+//! * [`utdb`] — uncertain transaction databases, generators, I/O;
+//! * [`prob`] — probability toolkit (Poisson-binomial DP, bounds, FPRAS);
+//! * [`fim`] — exact frequent/closed itemset mining baselines;
+//! * [`pfim`] — probabilistic frequent itemset mining baselines;
+//! * [`core`] — the MPFCI miner and its variants.
+#![deny(missing_docs)]
+pub use fim;
+pub use pfcim_core as core;
+pub use pfim;
+pub use prob;
+pub use utdb;
+
+pub use pfcim_core::{
+    mine, mine_bfs, mine_dfs, mine_naive, FcpMethod, MinerConfig, MinerStats, MiningOutcome, Pfci,
+    PruningConfig, SearchStrategy, Variant,
+};

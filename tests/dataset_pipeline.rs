@@ -1,0 +1,88 @@
+//! End-to-end pipeline: generate → overlay Gaussian probabilities →
+//! serialize → reload → mine, through the public facade only.
+
+use pfcim::core::{mine, MinerConfig};
+use pfcim::utdb::gen::{MushroomConfig, QuestConfig};
+use pfcim::utdb::{assign_gaussian_probabilities, io};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn quest_pipeline_round_trips_and_mines() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let certain = QuestConfig::t20i10_p40(400).generate(&mut rng);
+    let db = assign_gaussian_probabilities(&certain, 0.8, 0.1, &mut rng);
+
+    // Serialize and reload.
+    let text = io::to_dat(&db);
+    let reloaded = io::parse_dat(&text).expect("round trip");
+    assert_eq!(reloaded.len(), db.len());
+    for (a, b) in db.transactions().iter().zip(reloaded.transactions()) {
+        assert_eq!(a.items(), b.items());
+        assert!((a.probability() - b.probability()).abs() < 1e-12);
+    }
+
+    // Mining the reloaded database gives the identical result set.
+    let ms = db.len() / 4;
+    let cfg = MinerConfig::new(ms, 0.8);
+    let from_original = mine(&db, &cfg);
+    let from_reloaded = mine(&reloaded, &cfg);
+    assert_eq!(from_original.itemsets(), from_reloaded.itemsets());
+    assert!(!from_original.results.is_empty(), "workload sanity");
+}
+
+#[test]
+fn mushroom_pipeline_produces_closed_structure() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let certain = MushroomConfig::new(400).generate(&mut rng);
+    let db = assign_gaussian_probabilities(&certain, 0.5, 0.5, &mut rng);
+    let ms = db.len() / 5;
+    let out = mine(&db, &MinerConfig::new(ms, 0.8));
+    // The dense categorical structure must produce structural pruning
+    // work and a non-trivial closed result set.
+    assert!(out.stats.superset_pruned + out.stats.subset_pruned > 0);
+    assert!(!out.results.is_empty());
+    // Every result itemset must actually occur in the data with at least
+    // min_sup possible supporting transactions.
+    for p in &out.results {
+        assert!(db.count_of_itemset(&p.items) >= ms);
+    }
+}
+
+#[test]
+fn relative_min_sup_monotonicity_on_generated_data() {
+    // More permissive support thresholds can only grow the result set of
+    // *frequent* itemsets; for closed sets the counts may wiggle but the
+    // PFI superset containment must hold.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let certain = QuestConfig::t20i10_p40(500).generate(&mut rng);
+    let db = assign_gaussian_probabilities(&certain, 0.8, 0.1, &mut rng);
+    let loose = pfcim::pfim::probabilistic_frequent_itemsets(&db, db.len() / 6, 0.8);
+    let strict = pfcim::pfim::probabilistic_frequent_itemsets(&db, db.len() / 4, 0.8);
+    let loose_sets: Vec<_> = loose.iter().map(|p| p.items.clone()).collect();
+    for p in &strict {
+        assert!(loose_sets.contains(&p.items));
+    }
+    assert!(loose.len() >= strict.len());
+}
+
+#[test]
+fn pfcis_are_a_subset_of_pfis() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let certain = MushroomConfig::new(300).generate(&mut rng);
+    let db = assign_gaussian_probabilities(&certain, 0.8, 0.1, &mut rng);
+    let ms = db.len() / 4;
+    let pfis: Vec<_> = pfcim::pfim::probabilistic_frequent_itemsets(&db, ms, 0.8)
+        .into_iter()
+        .map(|p| p.items)
+        .collect();
+    let pfcis = mine(&db, &MinerConfig::new(ms, 0.8));
+    for p in &pfcis.results {
+        assert!(
+            pfis.contains(&p.items),
+            "{:?} is closed-frequent but not frequent?",
+            p.items
+        );
+    }
+    assert!(pfcis.results.len() <= pfis.len());
+}

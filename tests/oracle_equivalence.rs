@@ -1,0 +1,152 @@
+//! The central correctness battery: on randomly generated small uncertain
+//! databases, every mining configuration must reproduce the result set of
+//! the brute-force possible-world oracle exactly.
+
+use pfcim::core::{exact_pfci_set, mine, mine_naive, FcpMethod, MinerConfig, Variant};
+use pfcim::utdb::{Item, ItemDictionary, UncertainDatabase, UncertainTransaction};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random uncertain database small enough for exhaustive world + itemset
+/// enumeration.
+fn random_utdb(seed: u64, n: usize, num_items: u32, density: f64) -> UncertainDatabase {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    while rows.len() < n {
+        let items: Vec<Item> = (0..num_items)
+            .filter(|_| rng.random::<f64>() < density)
+            .map(Item)
+            .collect();
+        if items.is_empty() {
+            continue;
+        }
+        // Probabilities over the full range, including near-certain.
+        let p = 0.05 + 0.95 * rng.random::<f64>();
+        rows.push(UncertainTransaction::new(items, p));
+    }
+    UncertainDatabase::new(rows, ItemDictionary::new())
+}
+
+fn exact_cfg(min_sup: usize, pfct: f64) -> MinerConfig {
+    MinerConfig::new(min_sup, pfct).with_fcp_method(FcpMethod::ExactOnly)
+}
+
+#[test]
+fn dfs_matches_oracle_on_random_databases() {
+    for seed in 0..20 {
+        let db = random_utdb(seed, 8, 6, 0.5);
+        for (min_sup, pfct) in [(1, 0.5), (2, 0.3), (2, 0.7), (3, 0.5), (4, 0.2)] {
+            let oracle: Vec<Vec<Item>> = exact_pfci_set(&db, min_sup, pfct)
+                .into_iter()
+                .map(|p| p.items)
+                .collect();
+            let got = mine(&db, &exact_cfg(min_sup, pfct)).itemsets();
+            assert_eq!(got, oracle, "seed={seed} min_sup={min_sup} pfct={pfct}");
+        }
+    }
+}
+
+#[test]
+fn fcp_values_match_oracle_exactly() {
+    for seed in 20..30 {
+        let db = random_utdb(seed, 8, 5, 0.55);
+        let oracle = exact_pfci_set(&db, 2, 0.4);
+        let got = mine(&db, &exact_cfg(2, 0.4));
+        assert_eq!(got.results.len(), oracle.len(), "seed={seed}");
+        for (g, o) in got.results.iter().zip(&oracle) {
+            assert_eq!(g.items, o.items);
+            assert!(
+                (g.fcp - o.fcp).abs() < 1e-9,
+                "seed={seed} {:?}: {} vs {}",
+                g.items,
+                g.fcp,
+                o.fcp
+            );
+        }
+    }
+}
+
+#[test]
+fn every_variant_matches_the_oracle() {
+    for seed in 30..38 {
+        let db = random_utdb(seed, 9, 5, 0.5);
+        let oracle: Vec<Vec<Item>> = exact_pfci_set(&db, 2, 0.5)
+            .into_iter()
+            .map(|p| p.items)
+            .collect();
+        for variant in Variant::ALL {
+            let cfg = exact_cfg(2, 0.5).with_variant(variant);
+            let got = mine(&db, &cfg).itemsets();
+            assert_eq!(got, oracle, "seed={seed} variant={}", variant.name());
+        }
+    }
+}
+
+#[test]
+fn naive_matches_the_oracle_set() {
+    // Naive uses sampling; its membership decisions may flip only for
+    // itemsets whose FCP is very close to the threshold. Using a pfct far
+    // from any attainable FCP ties the comparison down deterministically.
+    for seed in 38..44 {
+        let db = random_utdb(seed, 7, 5, 0.6);
+        let oracle = exact_pfci_set(&db, 2, 0.5);
+        // Only keep cases where no FCP is within 0.08 of the threshold.
+        let safe = oracle.iter().all(|p| (p.fcp - 0.5).abs() > 0.08);
+        if !safe {
+            continue;
+        }
+        let cfg = MinerConfig::new(2, 0.5).with_approximation(0.05, 0.02);
+        let got = mine_naive(&db, &cfg);
+        assert_eq!(
+            got.itemsets(),
+            oracle.iter().map(|p| p.items.clone()).collect::<Vec<_>>(),
+            "seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn auto_method_matches_exact_method() {
+    // Auto switches between inclusion-exclusion and sampling; on small
+    // fan-outs it must be bit-identical to ExactOnly.
+    for seed in 44..52 {
+        let db = random_utdb(seed, 8, 5, 0.5);
+        let exact = mine(&db, &exact_cfg(2, 0.4));
+        let auto = mine(
+            &db,
+            &MinerConfig::new(2, 0.4).with_fcp_method(FcpMethod::Auto { exact_cap: 24 }),
+        );
+        assert_eq!(exact.itemsets(), auto.itemsets(), "seed={seed}");
+    }
+}
+
+#[test]
+fn results_never_include_subthreshold_itemsets() {
+    // Soundness half that holds for every configuration, sampled or not:
+    // reported FCP values dominate pfct and never exceed Pr_F.
+    for seed in 52..60 {
+        let db = random_utdb(seed, 10, 6, 0.45);
+        let out = mine(&db, &MinerConfig::new(2, 0.6));
+        for p in &out.results {
+            assert!(p.fcp > 0.6, "{:?} fcp={}", p.items, p.fcp);
+            assert!(
+                p.fcp <= p.frequent_probability + 1e-9,
+                "FCP must not exceed the frequent probability"
+            );
+        }
+    }
+}
+
+#[test]
+fn timed_out_runs_return_sound_subsets() {
+    let db = random_utdb(99, 12, 8, 0.5);
+    let full = mine(&db, &exact_cfg(2, 0.3));
+    assert!(!full.timed_out);
+    // A zero budget must abort immediately but cleanly.
+    let cfg = exact_cfg(2, 0.3).with_time_budget(std::time::Duration::ZERO);
+    let aborted = mine(&db, &cfg);
+    assert!(aborted.timed_out);
+    for items in aborted.itemsets() {
+        assert!(full.itemsets().contains(&items), "subset of the full run");
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end regression of every worked example in the paper, driven
+//! through the public facade.
+
+use pfcim::core::{exact_fcp_by_worlds, mine, mine_naive, FcpMethod, MinerConfig};
+use pfcim::utdb::{Item, PossibleWorlds, UncertainDatabase};
+
+fn table2() -> UncertainDatabase {
+    UncertainDatabase::parse_symbolic(&[
+        ("a b c d", 0.9),
+        ("a b c", 0.6),
+        ("a b c", 0.7),
+        ("a b c d", 0.9),
+    ])
+}
+
+fn table4() -> UncertainDatabase {
+    UncertainDatabase::parse_symbolic(&[
+        ("a b c d", 0.9),
+        ("a b c", 0.6),
+        ("a b c", 0.7),
+        ("a b c d", 0.9),
+        ("a b", 0.4),
+        ("a", 0.4),
+    ])
+}
+
+fn items(db: &UncertainDatabase, s: &str) -> Vec<Item> {
+    s.split_whitespace()
+        .map(|x| db.dictionary().get(x).unwrap())
+        .collect()
+}
+
+#[test]
+fn table_iii_possible_world_probabilities() {
+    let db = table2();
+    // Spot-check the world probabilities listed in Table III.
+    // PW1 = {T1}: 0.9 * 0.4 * 0.3 * 0.1 = 0.0108
+    let p1 = PossibleWorlds::world_probability(&db, 0b0001);
+    assert!((p1 - 0.0108).abs() < 1e-12);
+    // PW5 = {T1,T2,T3}: 0.9 * 0.6 * 0.7 * 0.1 = 0.0378
+    let p5 = PossibleWorlds::world_probability(&db, 0b0111);
+    assert!((p5 - 0.0378).abs() < 1e-12);
+    // PW8 = all: 0.9 * 0.6 * 0.7 * 0.9
+    let p8 = PossibleWorlds::world_probability(&db, 0b1111);
+    assert!((p8 - 0.9 * 0.6 * 0.7 * 0.9).abs() < 1e-12);
+    // PW16 = {}: 0.1 * 0.4 * 0.3 * 0.1
+    let p16 = PossibleWorlds::world_probability(&db, 0);
+    assert!((p16 - 0.0012).abs() < 1e-12);
+}
+
+#[test]
+fn example_1_1_fifteen_probabilistic_frequent_itemsets() {
+    let db = table2();
+    let pfis = pfcim::pfim::probabilistic_frequent_itemsets(&db, 2, 0.8);
+    assert_eq!(pfis.len(), 15);
+    let near = |x: f64, y: f64| (x - y).abs() < 1e-10;
+    assert_eq!(
+        pfis.iter()
+            .filter(|p| near(p.frequent_probability, 0.9726))
+            .count(),
+        7,
+        "seven subsets of {{a,b,c}} share frequent probability 0.9726"
+    );
+    assert_eq!(
+        pfis.iter()
+            .filter(|p| near(p.frequent_probability, 0.81))
+            .count(),
+        8,
+        "eight itemsets containing d share frequent probability 0.81"
+    );
+}
+
+#[test]
+fn example_1_2_frequent_closed_probabilities() {
+    let db = table2();
+    assert!((exact_fcp_by_worlds(&db, &items(&db, "a b c"), 2) - 0.8754).abs() < 1e-10);
+    assert!((exact_fcp_by_worlds(&db, &items(&db, "a b c d"), 2) - 0.81).abs() < 1e-10);
+    // "frequent closed probabilities of 13 other PFIs are 0"
+    let pfis = pfcim::pfim::probabilistic_frequent_itemsets(&db, 2, 0.8);
+    let mut zeros = 0;
+    for p in &pfis {
+        let fcp = exact_fcp_by_worlds(&db, &p.items, 2);
+        if fcp < 1e-12 {
+            zeros += 1;
+        }
+    }
+    assert_eq!(zeros, 13);
+}
+
+#[test]
+fn example_4_3_mining_run_and_values() {
+    let db = table2();
+    let out = mine(&db, &MinerConfig::new(2, 0.8));
+    let rendered: Vec<String> = out.results.iter().map(|p| db.render(&p.items)).collect();
+    assert_eq!(rendered, vec!["{a, b, c}", "{a, b, c, d}"]);
+    // Paper reports {abc, fcp: 0.875} and {abcd, fcp: 0.81}.
+    assert!((out.results[0].fcp - 0.8754).abs() < 0.01);
+    assert!((out.results[1].fcp - 0.81).abs() < 0.01);
+    // Example 4.1/4.2 pruning narrative: subset pruning kills the {a,c},
+    // {a,d} and {a,b,d} branches; superset pruning stops the {b}, {c},
+    // {d} roots.
+    assert!(out.stats.subset_pruned >= 1);
+    assert!(out.stats.superset_pruned >= 3);
+}
+
+#[test]
+fn section_ii_b_table_iv_comparison() {
+    let db = table4();
+    // Frequent probabilities of {a} and {ab} are ~0.99 at min_sup 2 …
+    let pr_a = pfcim::pfim::frequent_probability(&db, &items(&db, "a"), 2);
+    let pr_ab = pfcim::pfim::frequent_probability(&db, &items(&db, "a b"), 2);
+    assert!(pr_a > 0.98, "{pr_a}");
+    assert!(pr_ab > 0.97, "{pr_ab}");
+    // … yet their frequent closed probabilities are tiny (paper: ~0.04),
+    // so they are never returned, at any threshold.
+    let fcp_a = exact_fcp_by_worlds(&db, &items(&db, "a"), 2);
+    let fcp_ab = exact_fcp_by_worlds(&db, &items(&db, "a b"), 2);
+    assert!(fcp_a < 0.45, "{fcp_a}");
+    assert!(fcp_ab < 0.45, "{fcp_ab}");
+    for pfct in [0.5, 0.6, 0.7, 0.8] {
+        let out = mine(&db, &MinerConfig::new(2, pfct));
+        let rendered: Vec<String> = out.results.iter().map(|p| db.render(&p.items)).collect();
+        assert!(rendered.contains(&"{a, b, c}".to_string()), "pfct={pfct}");
+        assert!(
+            rendered.contains(&"{a, b, c, d}".to_string()),
+            "pfct={pfct}"
+        );
+        assert!(!rendered.contains(&"{a}".to_string()), "pfct={pfct}");
+        assert!(!rendered.contains(&"{a, b}".to_string()), "pfct={pfct}");
+    }
+}
+
+#[test]
+fn naive_baseline_agrees_on_the_running_example() {
+    let db = table2();
+    let cfg = MinerConfig::new(2, 0.8).with_approximation(0.05, 0.05);
+    let naive = mine_naive(&db, &cfg);
+    let dfs = mine(&db, &cfg.clone().with_fcp_method(FcpMethod::ExactOnly));
+    assert_eq!(naive.itemsets(), dfs.itemsets());
+    // The naive baseline had to check all 15 PFIs.
+    assert_eq!(naive.stats.nodes_visited, 15);
+}
+
+#[test]
+fn table_vi_reduction_identity() {
+    use pfcim::core::hardness::{closed_probability_by_worlds, MonotoneDnf};
+    let dnf = MonotoneDnf::paper_example();
+    let (db, x) = dnf.to_reduction_database();
+    assert_eq!(db.len(), 4);
+    let expected = dnf.count_satisfying() as f64 / 16.0;
+    let got = 1.0 - closed_probability_by_worlds(&db, &[x]);
+    assert!((got - expected).abs() < 1e-12);
+}

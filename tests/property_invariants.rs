@@ -1,0 +1,147 @@
+//! Property-based invariants (proptest) over randomly generated uncertain
+//! databases, exercising the full stack through the facade.
+
+use pfcim::core::{exact_fcp_by_worlds, mine, FcpMethod, MinerConfig};
+use pfcim::prob::SupportDistribution;
+use pfcim::utdb::{Item, ItemDictionary, TidSet, UncertainDatabase, UncertainTransaction};
+use proptest::prelude::*;
+
+/// Strategy: a small random uncertain database (≤ 10 tuples, ≤ 6 items).
+fn arb_utdb() -> impl Strategy<Value = UncertainDatabase> {
+    let tx = (1u32..64, 0.05f64..1.0);
+    proptest::collection::vec(tx, 1..10).prop_map(|rows| {
+        let transactions: Vec<UncertainTransaction> = rows
+            .into_iter()
+            .map(|(mask, p)| {
+                let items: Vec<Item> = (0..6).filter(|i| mask >> i & 1 == 1).map(Item).collect();
+                UncertainTransaction::new(items, p)
+            })
+            .collect();
+        UncertainDatabase::new(transactions, ItemDictionary::new())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fundamental sandwich: 0 ≤ Pr_FC(X) ≤ Pr_F(X) ≤ 1 for every
+    /// itemset, with both sides computed by independent routes.
+    #[test]
+    fn fcp_is_sandwiched_by_frequent_probability(db in arb_utdb(), min_sup in 1usize..4) {
+        let m = db.num_items() as u32;
+        for mask in 1u32..(1 << m.min(6)) {
+            let x: Vec<Item> = (0..m).filter(|i| mask >> i & 1 == 1).map(Item).collect();
+            let fcp = exact_fcp_by_worlds(&db, &x, min_sup);
+            let pr_f = pfcim::pfim::frequent_probability(&db, &x, min_sup);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&fcp));
+            prop_assert!(fcp <= pr_f + 1e-9, "X={x:?}: {fcp} > {pr_f}");
+        }
+    }
+
+    /// Closed probabilities of all itemsets in a world partition:
+    /// in every world, summing world probability over itemsets that are
+    /// frequent-closed equals the world's contribution — so the total FCP
+    /// mass equals the expected number of frequent closed itemsets.
+    #[test]
+    fn total_fcp_mass_equals_expected_fci_count(db in arb_utdb()) {
+        use pfcim::utdb::PossibleWorlds;
+        let min_sup = 1;
+        let m = db.num_items() as u32;
+        let mut total_fcp = 0.0;
+        for mask in 1u32..(1 << m.min(6)) {
+            let x: Vec<Item> = (0..m).filter(|i| mask >> i & 1 == 1).map(Item).collect();
+            total_fcp += exact_fcp_by_worlds(&db, &x, min_sup);
+        }
+        let mut expected_count = 0.0;
+        for (wmask, p) in PossibleWorlds::new(&db) {
+            let mut count = 0usize;
+            for imask in 1u32..(1 << m.min(6)) {
+                let x: Vec<Item> =
+                    (0..m).filter(|i| imask >> i & 1 == 1).map(Item).collect();
+                if PossibleWorlds::is_frequent_closed_in_world(&db, wmask, &x, min_sup) {
+                    count += 1;
+                }
+            }
+            expected_count += p * count as f64;
+        }
+        prop_assert!((total_fcp - expected_count).abs() < 1e-8,
+            "{total_fcp} vs {expected_count}");
+    }
+
+    /// The mined result is exactly the oracle filter of the FCP function.
+    #[test]
+    fn miner_equals_pointwise_oracle(db in arb_utdb(), pfct in 0.05f64..0.95) {
+        let min_sup = 2;
+        let cfg = MinerConfig::new(min_sup, pfct).with_fcp_method(FcpMethod::ExactOnly);
+        let got = mine(&db, &cfg).itemsets();
+        let m = db.num_items() as u32;
+        let mut want = Vec::new();
+        for mask in 1u32..(1 << m.min(6)) {
+            let x: Vec<Item> = (0..m).filter(|i| mask >> i & 1 == 1).map(Item).collect();
+            if db.count_of_itemset(&x) == 0 {
+                continue;
+            }
+            if exact_fcp_by_worlds(&db, &x, min_sup) > pfct {
+                want.push(x);
+            }
+        }
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Support distribution invariants: PMF sums to one, the tail is the
+    /// complement of the CDF, and the mean matches the expected support.
+    #[test]
+    fn support_distribution_axioms(db in arb_utdb()) {
+        for id in 0..db.num_items() as u32 {
+            let tids = db.tidset_of(Item(id));
+            let probs = db.probabilities_of(tids);
+            if probs.is_empty() {
+                continue;
+            }
+            let dist = SupportDistribution::new(&probs);
+            let total: f64 = dist.as_slice().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            for k in 0..=probs.len() {
+                let lhs = dist.tail(k);
+                let rhs = if k == 0 { 1.0 } else { 1.0 - dist.cdf(k - 1) };
+                prop_assert!((lhs - rhs).abs() < 1e-9);
+            }
+            prop_assert!((dist.mean() - probs.iter().sum::<f64>()).abs() < 1e-9);
+        }
+    }
+
+    /// Tid-set algebra laws on random sets.
+    #[test]
+    fn tidset_algebra_laws(a_bits in proptest::collection::vec(any::<bool>(), 1..200),
+                           b_bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let n = a_bits.len().max(b_bits.len());
+        let a = TidSet::from_tids(n, a_bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i));
+        let b = TidSet::from_tids(n, b_bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i));
+        // |A| = |A∩B| + |A\B|
+        prop_assert_eq!(a.count(), a.intersection_count(&b) + a.difference_count(&b));
+        // inclusion–exclusion for union
+        prop_assert_eq!(
+            a.union(&b).count() + a.intersection_count(&b),
+            a.count() + b.count()
+        );
+        // subset iff difference empty
+        prop_assert_eq!(a.is_subset(&b), a.difference(&b).is_empty());
+        // intersection commutes
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        // iteration round-trips
+        let rebuilt = TidSet::from_tids(n, a.iter());
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    /// Monotonicity of the mined set in pfct: raising the threshold can
+    /// only shrink the result.
+    #[test]
+    fn result_set_is_monotone_in_pfct(db in arb_utdb()) {
+        let lo = mine(&db, &MinerConfig::new(2, 0.3).with_fcp_method(FcpMethod::ExactOnly));
+        let hi = mine(&db, &MinerConfig::new(2, 0.7).with_fcp_method(FcpMethod::ExactOnly));
+        for items in hi.itemsets() {
+            prop_assert!(lo.itemsets().contains(&items));
+        }
+    }
+}

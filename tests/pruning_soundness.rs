@@ -1,0 +1,157 @@
+//! Soundness of each pruning rule, checked against the possible-world
+//! oracle on randomized inputs: anything a pruning removes must truly
+//! have frequent closed probability 0 (structural prunings) or below the
+//! threshold (probabilistic prunings).
+
+use pfcim::core::{exact_fcp_by_worlds, mine, FcpMethod, MinerConfig, Variant};
+use pfcim::prob::hoeffding::hoeffding_infrequent;
+use pfcim::utdb::{Item, ItemDictionary, UncertainDatabase, UncertainTransaction};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_utdb(seed: u64, n: usize, num_items: u32, density: f64) -> UncertainDatabase {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    while rows.len() < n {
+        let items: Vec<Item> = (0..num_items)
+            .filter(|_| rng.random::<f64>() < density)
+            .map(Item)
+            .collect();
+        if items.is_empty() {
+            continue;
+        }
+        rows.push(UncertainTransaction::new(
+            items,
+            0.1 + 0.9 * rng.random::<f64>(),
+        ));
+    }
+    UncertainDatabase::new(rows, ItemDictionary::new())
+}
+
+/// Lemma 4.2 as stated: pre-item count equality forces Pr_FC = 0.
+#[test]
+fn superset_pruning_condition_implies_zero_fcp() {
+    for seed in 0..15 {
+        let db = random_utdb(seed, 9, 6, 0.55);
+        let m = db.num_items() as u32;
+        for mask in 1u32..(1 << m) {
+            let x: Vec<Item> = (0..m).filter(|i| mask >> i & 1 == 1).map(Item).collect();
+            let tids = db.tidset_of_itemset(&x);
+            if tids.is_empty() {
+                continue;
+            }
+            let last = x.last().unwrap().0;
+            let pre_covers = (0..last)
+                .map(Item)
+                .filter(|i| x.binary_search(i).is_err())
+                .any(|i| tids.is_subset(db.tidset_of(i)));
+            if pre_covers {
+                for min_sup in 1..=3 {
+                    let fcp = exact_fcp_by_worlds(&db, &x, min_sup);
+                    assert!(
+                        fcp < 1e-12,
+                        "seed={seed} X={x:?} min_sup={min_sup}: fcp={fcp}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 4.3 as stated: a count-equal extension forces Pr_FC(X) = 0, and
+/// the same holds for any superset of X avoiding that extension item.
+#[test]
+fn subset_pruning_condition_implies_zero_fcp() {
+    for seed in 15..30 {
+        let db = random_utdb(seed, 9, 6, 0.55);
+        let m = db.num_items() as u32;
+        for mask in 1u32..(1 << m) {
+            let x: Vec<Item> = (0..m).filter(|i| mask >> i & 1 == 1).map(Item).collect();
+            let tids = db.tidset_of_itemset(&x);
+            if tids.is_empty() {
+                continue;
+            }
+            let equal_ext = (0..m)
+                .map(Item)
+                .filter(|e| x.binary_search(e).is_err())
+                .find(|e| tids.intersection_count(db.tidset_of(*e)) == tids.count());
+            if let Some(e) = equal_ext {
+                let fcp = exact_fcp_by_worlds(&db, &x, 1);
+                assert!(fcp < 1e-12, "seed={seed} X={x:?} e={e}: fcp={fcp}");
+            }
+        }
+    }
+}
+
+/// Lemma 4.1: the Chernoff–Hoeffding refutation never disagrees with the
+/// exact frequent probability.
+#[test]
+fn chernoff_hoeffding_pruning_is_conservative() {
+    for seed in 30..45 {
+        let db = random_utdb(seed, 12, 6, 0.5);
+        let m = db.num_items() as u32;
+        for mask in 1u32..(1 << m) {
+            let x: Vec<Item> = (0..m).filter(|i| mask >> i & 1 == 1).map(Item).collect();
+            let tids = db.tidset_of_itemset(&x);
+            let count = tids.count();
+            if count == 0 {
+                continue;
+            }
+            let esup = db.expected_support(&x);
+            for (min_sup, pfct) in [(2, 0.5), (4, 0.8), (6, 0.3)] {
+                if hoeffding_infrequent(esup, count, min_sup, pfct) {
+                    let pr_f = pfcim::pfim::frequent_probability(&db, &x, min_sup);
+                    assert!(
+                        pr_f <= pfct + 1e-9,
+                        "seed={seed} X={x:?}: CH pruned but Pr_F={pr_f} > {pfct}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Toggling any pruning individually must leave the mined set untouched.
+#[test]
+fn pruning_toggles_never_change_results() {
+    for seed in 45..57 {
+        let db = random_utdb(seed, 10, 6, 0.5);
+        let base = MinerConfig::new(2, 0.4).with_fcp_method(FcpMethod::ExactOnly);
+        let reference = mine(&db, &base);
+        for variant in [
+            Variant::NoCh,
+            Variant::NoSuper,
+            Variant::NoSub,
+            Variant::NoBound,
+        ] {
+            let out = mine(&db, &base.clone().with_variant(variant));
+            assert_eq!(
+                out.itemsets(),
+                reference.itemsets(),
+                "seed={seed} {}",
+                variant.name()
+            );
+            for (a, b) in out.results.iter().zip(&reference.results) {
+                assert!((a.fcp - b.fcp).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+/// Prunings only ever reduce work, never add it.
+#[test]
+fn prunings_reduce_visited_nodes() {
+    let db = random_utdb(7, 14, 7, 0.55);
+    let base = MinerConfig::new(2, 0.4).with_fcp_method(FcpMethod::ExactOnly);
+    let with_all = mine(&db, &base);
+    for variant in [Variant::NoSuper, Variant::NoSub] {
+        let without = mine(&db, &base.clone().with_variant(variant));
+        assert!(
+            without.stats.nodes_visited >= with_all.stats.nodes_visited,
+            "{}: {} < {}",
+            variant.name(),
+            without.stats.nodes_visited,
+            with_all.stats.nodes_visited
+        );
+    }
+}
