@@ -121,11 +121,57 @@ fn bench_tail_approximations(c: &mut Criterion) {
     group.finish();
 }
 
+fn report_time_per_pruning(_c: &mut Criterion) {
+    // Not a timing loop: one full-ablation pass that prices each pruning
+    // rule as (extra elapsed time without it) / (times it fired in the
+    // baseline run), plus the baseline's per-phase breakdown. Skipped
+    // when Criterion is only enumerating benches.
+    if std::env::args().any(|a| a == "--list") {
+        return;
+    }
+    let db = common::mushroom();
+    let rel = 0.3;
+    let baseline = mine(&db, &common::paper_cfg(&db, rel, 0.8));
+    println!("\nablation/time_per_pruning (mushroom, rel_sup={rel})");
+    println!(
+        "  {:<8} elapsed={:>9.3?}  phases: {}",
+        "MPFCI", baseline.elapsed, baseline.timers
+    );
+    let ablations: [(Variant, u64); 4] = [
+        (Variant::NoCh, baseline.stats.ch_pruned),
+        (Variant::NoSuper, baseline.stats.superset_pruned),
+        (Variant::NoSub, baseline.stats.subset_pruned),
+        (
+            Variant::NoBound,
+            baseline.stats.bound_rejected + baseline.stats.bound_decided,
+        ),
+    ];
+    for (variant, firings) in ablations {
+        let cfg = common::paper_cfg(&db, rel, 0.8).with_variant(variant);
+        let outcome = mine(&db, &cfg);
+        let delta = outcome.elapsed.as_secs_f64() - baseline.elapsed.as_secs_f64();
+        let per_firing = if firings > 0 {
+            format!("{:.1}us/firing", delta * 1e6 / firings as f64)
+        } else {
+            "n/a (never fired)".to_owned()
+        };
+        println!(
+            "  {:<14} elapsed={:>9.3?}  delta={:>+8.3}s over {:>6} firings -> {}",
+            variant.name(),
+            outcome.elapsed,
+            delta,
+            firings,
+            per_firing
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_checking_strategies,
     bench_pairwise_budget,
     bench_estimators,
-    bench_tail_approximations
+    bench_tail_approximations,
+    report_time_per_pruning
 );
 criterion_main!(benches);

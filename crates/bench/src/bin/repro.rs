@@ -1,14 +1,19 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [EXPERIMENTS...] [--scale tiny|laptop|paper] [--budget SECONDS] [--out DIR]
+//! repro [EXPERIMENTS...] [--scale tiny|laptop|paper] [--budget SECONDS]
+//!       [--out DIR] [--trace FILE.jsonl] [--progress]
 //!
 //! EXPERIMENTS: all (default), fig5, fig6, fig7, fig8, fig9, fig10,
 //!              fig11, fig12, table7, table8
 //! ```
 //!
 //! Results are printed as aligned tables and archived as CSV under the
-//! output directory (default `results/`).
+//! output directory (default `results/`). `--trace` streams every mining
+//! event of every run to a JSONL file and, on exit, parses the file back
+//! and reconciles its per-event aggregates against the live
+//! [`MinerStats`](pfcim_core::MinerStats) totals printed at the end.
+//! `--progress` prints a throttled heartbeat to stderr while mining.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,13 +21,15 @@ use std::time::{Duration, Instant};
 
 use pfcim_bench::experiments::{self, DEFAULT_CELL_BUDGET};
 use pfcim_bench::report::Table;
-use pfcim_bench::Scale;
+use pfcim_bench::{Observe, Scale};
 
 struct Args {
     experiments: Vec<String>,
     scale: Scale,
     budget: Duration,
     out: PathBuf,
+    trace: Option<PathBuf>,
+    progress: bool,
 }
 
 const ALL_EXPERIMENTS: [&str; 10] = [
@@ -34,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Laptop;
     let mut budget = DEFAULT_CELL_BUDGET;
     let mut out = PathBuf::from("results");
+    let mut trace = None;
+    let mut progress = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -49,6 +58,10 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(argv.next().ok_or("--out needs a value")?);
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(argv.next().ok_or("--trace needs a value")?));
+            }
+            "--progress" => progress = true,
             "--help" | "-h" => return Err(String::new()),
             "all" => experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             name if ALL_EXPERIMENTS.contains(&name) => experiments.push(name.to_owned()),
@@ -63,6 +76,8 @@ fn parse_args() -> Result<Args, String> {
         scale,
         budget,
         out,
+        trace,
+        progress,
     })
 }
 
@@ -75,12 +90,27 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [EXPERIMENTS...] [--scale tiny|laptop|paper] \
-                 [--budget SECONDS] [--out DIR]\nEXPERIMENTS: all {}",
+                 [--budget SECONDS] [--out DIR] [--trace FILE.jsonl] [--progress]\n\
+                 EXPERIMENTS: all {}",
                 ALL_EXPERIMENTS.join(" ")
             );
             return ExitCode::from(2);
         }
     };
+
+    let mut obs = Observe::none();
+    if let Some(path) = &args.trace {
+        obs = match obs.with_trace(path) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: cannot open trace file {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+    }
+    if args.progress {
+        obs = obs.with_progress();
+    }
 
     println!(
         "# pfcim repro — scale={:?}, per-cell budget={}s, out={}",
@@ -94,14 +124,14 @@ fn main() -> ExitCode {
         let tables: Vec<Table> = match name.as_str() {
             "table7" => vec![experiments::table7()],
             "table8" => vec![experiments::table8(args.scale)],
-            "fig5" => experiments::fig5(args.scale, args.budget),
-            "fig6" => experiments::fig6(args.scale, args.budget),
-            "fig7" => experiments::fig7(args.scale, args.budget),
-            "fig8" => experiments::fig8(args.scale, args.budget),
-            "fig9" => experiments::fig9(args.scale, args.budget),
-            "fig10" => experiments::fig10(args.scale, args.budget),
-            "fig11" => experiments::fig11(args.scale, args.budget),
-            "fig12" => experiments::fig12(args.scale, args.budget),
+            "fig5" => experiments::fig5(args.scale, args.budget, &mut obs),
+            "fig6" => experiments::fig6(args.scale, args.budget, &mut obs),
+            "fig7" => experiments::fig7(args.scale, args.budget, &mut obs),
+            "fig8" => experiments::fig8(args.scale, args.budget, &mut obs),
+            "fig9" => experiments::fig9(args.scale, args.budget, &mut obs),
+            "fig10" => experiments::fig10(args.scale, args.budget, &mut obs),
+            "fig11" => experiments::fig11(args.scale, args.budget, &mut obs),
+            "fig12" => experiments::fig12(args.scale, args.budget, &mut obs),
             _ => unreachable!("validated in parse_args"),
         };
         for (i, table) in tables.iter().enumerate() {
@@ -116,6 +146,24 @@ fn main() -> ExitCode {
             }
         }
         println!("[{name} finished in {:.1}s]", start.elapsed().as_secs_f64());
+    }
+
+    if obs.runs > 0 {
+        println!(
+            "\n# aggregate over {} mining runs: {}",
+            obs.runs, obs.totals
+        );
+        if !obs.timers.is_empty() {
+            println!("# phases: {}", obs.timers);
+        }
+    }
+    match obs.finish() {
+        Ok(Some(summary)) => println!("# {summary}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -11,14 +11,15 @@
 //! — who wins, how curves respond to each parameter — are the
 //! reproduction target (`EXPERIMENTS.md` records both).
 
+use std::sync::Mutex;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-use pfcim_core::{mine, mine_naive, FcpMethod, MinerConfig, MiningOutcome, Variant};
+use pfcim_core::{mine, FcpMethod, MinerConfig, MiningOutcome, Variant};
 use utdb::UncertainDatabase;
 
 use crate::datasets::{abs_min_sup, DatasetKind, Scale};
-use crate::report::{secs, Table};
+use crate::observe::Observe;
+use crate::report::{phase_cells, phase_headers, secs, Table};
 
 /// Default per-cell wall-clock budget.
 pub const DEFAULT_CELL_BUDGET: Duration = Duration::from_secs(30);
@@ -41,18 +42,23 @@ fn budgeted(cfg: MinerConfig, budget: Duration) -> MinerConfig {
     cfg.with_time_budget(budget)
 }
 
-/// Fig. 5 — Naive vs MPFCI running time w.r.t. `min_sup`, both datasets.
-pub fn fig5(scale: Scale, budget: Duration) -> Vec<Table> {
+/// Fig. 5 — Naive vs MPFCI running time w.r.t. `min_sup`, both datasets,
+/// with the MPFCI run's per-phase time breakdown as extra columns.
+pub fn fig5(scale: Scale, budget: Duration, obs: &mut Observe) -> Vec<Table> {
     DatasetKind::ALL
         .iter()
         .map(|&kind| {
             let db = kind.uncertain(scale, 42);
+            let mut header: Vec<String> = ["min_sup", "Naive", "MPFCI", "PFIs_checked_by_naive"]
+                .map(String::from)
+                .to_vec();
+            header.extend(phase_headers("mpfci"));
             let mut table = Table::new(
                 &format!(
                     "Fig 5 ({}) — runtime [s] vs min_sup: Naive vs MPFCI",
                     kind.name()
                 ),
-                &["min_sup", "Naive", "MPFCI", "PFIs_checked_by_naive"],
+                &header.iter().map(String::as_str).collect::<Vec<_>>(),
             );
             for rel in kind.min_sup_grid() {
                 let ms = abs_min_sup(&db, rel);
@@ -63,14 +69,16 @@ pub fn fig5(scale: Scale, budget: Duration) -> Vec<Table> {
                     MinerConfig::new(ms, 0.8).with_fcp_method(FcpMethod::ApproxOnly),
                     budget,
                 );
-                let naive = mine_naive(&db, &cfg);
-                let mpfci = mine(&db, &cfg);
-                table.push_row(vec![
+                let naive = obs.run_naive(&db, &cfg);
+                let mpfci = obs.run(&db, &cfg);
+                let mut row = vec![
                     format!("{rel}"),
                     cell(&naive),
                     cell(&mpfci),
                     naive.stats.nodes_visited.to_string(),
-                ]);
+                ];
+                row.extend(phase_cells(&mpfci.timers));
+                table.push_row(row);
             }
             table
         })
@@ -78,7 +86,7 @@ pub fn fig5(scale: Scale, budget: Duration) -> Vec<Table> {
 }
 
 /// Fig. 6 — running time w.r.t. `min_sup` for the five pruning variants.
-pub fn fig6(scale: Scale, budget: Duration) -> Vec<Table> {
+pub fn fig6(scale: Scale, budget: Duration, obs: &mut Observe) -> Vec<Table> {
     let variants = [
         Variant::Mpfci,
         Variant::NoCh,
@@ -97,11 +105,12 @@ pub fn fig6(scale: Scale, budget: Duration) -> Vec<Table> {
             MinerConfig::new(abs_min_sup(db, value), 0.8).with_fcp_method(FcpMethod::ApproxOnly)
         },
         "min_sup",
+        obs,
     )
 }
 
 /// Fig. 7 — running time w.r.t. `pfct` for the five pruning variants.
-pub fn fig7(scale: Scale, budget: Duration) -> Vec<Table> {
+pub fn fig7(scale: Scale, budget: Duration, obs: &mut Observe) -> Vec<Table> {
     let variants = [
         Variant::Mpfci,
         Variant::NoCh,
@@ -120,6 +129,7 @@ pub fn fig7(scale: Scale, budget: Duration) -> Vec<Table> {
                 .with_fcp_method(FcpMethod::ApproxOnly)
         },
         "pfct",
+        obs,
     )
 }
 
@@ -129,13 +139,13 @@ pub fn fig7(scale: Scale, budget: Duration) -> Vec<Table> {
 /// sampling path actually carries work at laptop scale (the effect the
 /// figure isolates: only `MPFCI-NoBound`, which cannot skip `ApproxFCP`,
 /// responds to `ε`).
-pub fn fig8(scale: Scale, budget: Duration) -> Vec<Table> {
-    sweep_epsilon_delta(scale, budget, "Fig 8", "epsilon", true)
+pub fn fig8(scale: Scale, budget: Duration, obs: &mut Observe) -> Vec<Table> {
+    sweep_epsilon_delta(scale, budget, "Fig 8", "epsilon", true, obs)
 }
 
 /// Fig. 9 — running time w.r.t. `δ`; same setup as Fig. 8.
-pub fn fig9(scale: Scale, budget: Duration) -> Vec<Table> {
-    sweep_epsilon_delta(scale, budget, "Fig 9", "delta", false)
+pub fn fig9(scale: Scale, budget: Duration, obs: &mut Observe) -> Vec<Table> {
+    sweep_epsilon_delta(scale, budget, "Fig 9", "delta", false, obs)
 }
 
 fn sweep_epsilon_delta(
@@ -144,6 +154,7 @@ fn sweep_epsilon_delta(
     fig: &str,
     param: &str,
     vary_epsilon: bool,
+    obs: &mut Observe,
 ) -> Vec<Table> {
     let variants = [
         Variant::Mpfci,
@@ -170,6 +181,7 @@ fn sweep_epsilon_delta(
                 .with_approximation(eps, delta)
         },
         param,
+        obs,
     )
 }
 
@@ -181,6 +193,8 @@ fn sampling_min_sup_rel(kind: DatasetKind) -> f64 {
     }
 }
 
+/// Shared sweep driver: one table per dataset, one column per variant,
+/// plus a per-phase time breakdown of the *first* (reference) variant.
 #[allow(clippy::too_many_arguments)]
 fn sweep_variants(
     scale: Scale,
@@ -190,28 +204,36 @@ fn sweep_variants(
     grid: impl Fn(DatasetKind) -> Vec<f64>,
     make_cfg: impl Fn(&UncertainDatabase, DatasetKind, f64, Variant) -> MinerConfig,
     param: &str,
+    obs: &mut Observe,
 ) -> Vec<Table> {
     DatasetKind::ALL
         .iter()
         .map(|&kind| {
             let db = kind.uncertain(scale, 42);
-            let mut header: Vec<&str> = vec![param];
-            let names: Vec<&str> = variants.iter().map(|v| v.name()).collect();
-            header.extend(names.iter());
+            let mut header: Vec<String> = vec![param.to_owned()];
+            header.extend(variants.iter().map(|v| v.name().to_owned()));
+            header.extend(phase_headers(variants[0].name()));
             let mut table = Table::new(
                 &format!("{fig} ({}) — runtime [s] vs {param}", kind.name()),
-                &header,
+                &header.iter().map(String::as_str).collect::<Vec<_>>(),
             );
             for &value in &grid(kind) {
                 let mut row = vec![format!("{value}")];
+                let mut reference_timers = None;
                 for &variant in variants {
                     let cfg = budgeted(
                         make_cfg(&db, kind, value, variant).with_variant(variant),
                         budget,
                     );
-                    let outcome = mine(&db, &cfg);
+                    let outcome = obs.run(&db, &cfg);
                     row.push(cell(&outcome));
+                    if reference_timers.is_none() {
+                        reference_timers = Some(outcome.timers);
+                    }
                 }
+                row.extend(phase_cells(
+                    &reference_timers.expect("variants is non-empty"),
+                ));
                 table.push_row(row);
             }
             table
@@ -222,7 +244,7 @@ fn sweep_variants(
 /// Fig. 10 — compression quality: counts of FI, FCI, PFI and PFCI w.r.t.
 /// `min_sup` under the two Gaussian configurations of the Mushroom-like
 /// dataset.
-pub fn fig10(scale: Scale, budget: Duration) -> Vec<Table> {
+pub fn fig10(scale: Scale, budget: Duration, obs: &mut Observe) -> Vec<Table> {
     let kind = DatasetKind::Mushroom;
     let certain = kind.certain(scale, 42);
     [(0.8, 0.1), (0.5, 0.5)]
@@ -233,30 +255,52 @@ pub fn fig10(scale: Scale, budget: Duration) -> Vec<Table> {
                 &format!("Fig 10 (Mushroom, mean={mean}, var={var}) — itemset counts vs min_sup"),
                 &["min_sup", "FI", "FCI", "PFI", "PFCI", "FCI/FI", "PFCI/PFI"],
             );
-            // Counting runs are timing-insensitive, so the four support
-            // levels run concurrently on scoped threads.
             let grid = [0.15, 0.2, 0.25, 0.3];
-            let rows: Mutex<Vec<(f64, [usize; 4])>> = Mutex::new(Vec::new());
-            crossbeam::thread::scope(|scope| {
+            let count_certain = |rel: f64| {
+                let ms_exact = abs_min_sup(&certain, rel);
+                let fi = fim::frequent_itemsets_fpgrowth(&certain, ms_exact).len();
+                let fci = fim::frequent_closed_itemsets(&certain, ms_exact).len();
+                (fi, fci)
+            };
+            let mut rows: Vec<(f64, [usize; 4])> = Vec::new();
+            if obs.is_active() {
+                // Observed runs must hit a single sink in a deterministic
+                // order, so trace/progress mode runs the grid serially.
                 for &rel in &grid {
-                    let certain = &certain;
-                    let db = &db;
-                    let rows = &rows;
-                    scope.spawn(move |_| {
-                        let ms_exact = abs_min_sup(certain, rel);
-                        let fi = fim::frequent_itemsets_fpgrowth(certain, ms_exact).len();
-                        let fci = fim::frequent_closed_itemsets(certain, ms_exact).len();
-                        let ms = abs_min_sup(db, rel);
-                        let pfi = pfim::probabilistic_frequent_itemsets(db, ms, 0.8).len();
-                        let pfci = mine(db, &budgeted(MinerConfig::new(ms, 0.8), budget))
-                            .results
-                            .len();
-                        rows.lock().push((rel, [fi, fci, pfi, pfci]));
-                    });
+                    let (fi, fci) = count_certain(rel);
+                    let ms = abs_min_sup(&db, rel);
+                    let pfi = pfim::probabilistic_frequent_itemsets(&db, ms, 0.8).len();
+                    let pfci = obs
+                        .run(&db, &budgeted(MinerConfig::new(ms, 0.8), budget))
+                        .results
+                        .len();
+                    rows.push((rel, [fi, fci, pfi, pfci]));
                 }
-            })
-            .expect("fig10 worker panicked");
-            let mut rows = rows.into_inner();
+            } else {
+                // Counting runs are timing-insensitive, so the four
+                // support levels run concurrently on scoped threads.
+                let shared: Mutex<Vec<(f64, [usize; 4])>> = Mutex::new(Vec::new());
+                std::thread::scope(|scope| {
+                    for &rel in &grid {
+                        let count_certain = &count_certain;
+                        let db = &db;
+                        let shared = &shared;
+                        scope.spawn(move || {
+                            let (fi, fci) = count_certain(rel);
+                            let ms = abs_min_sup(db, rel);
+                            let pfi = pfim::probabilistic_frequent_itemsets(db, ms, 0.8).len();
+                            let pfci = mine(db, &budgeted(MinerConfig::new(ms, 0.8), budget))
+                                .results
+                                .len();
+                            shared
+                                .lock()
+                                .expect("fig10 row lock")
+                                .push((rel, [fi, fci, pfi, pfci]));
+                        });
+                    }
+                });
+                rows = shared.into_inner().expect("fig10 rows lock");
+            }
             rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("grid is finite"));
             let ratio = |a: usize, b: usize| {
                 if b == 0 {
@@ -289,12 +333,12 @@ pub fn fig10(scale: Scale, budget: Duration) -> Vec<Table> {
 /// `fcp_sampled == 0` counter). Measured: `MPFCI-NoBound` with pure
 /// `ApproxFCP` checking, the configuration whose output actually depends
 /// on `ε`/`δ`.
-pub fn fig11(scale: Scale, budget: Duration) -> Vec<Table> {
+pub fn fig11(scale: Scale, budget: Duration, obs: &mut Observe) -> Vec<Table> {
     let kind = DatasetKind::Mushroom;
     let db = kind.uncertain(scale, 42);
     let ms = abs_min_sup(&db, sampling_min_sup_rel(kind));
     let truth_cfg = MinerConfig::new(ms, 0.8);
-    let truth = mine(&db, &truth_cfg);
+    let truth = obs.run(&db, &truth_cfg);
     assert!(
         truth.stats.fcp_sampled == 0,
         "ground truth must be decided without sampling"
@@ -322,7 +366,7 @@ pub fn fig11(scale: Scale, budget: Duration) -> Vec<Table> {
                     .with_seed(0x000f_1611 ^ (value * 1000.0) as u64),
                 budget,
             );
-            let outcome = mine(&db, &cfg);
+            let outcome = obs.run(&db, &cfg);
             if outcome.timed_out {
                 // An aborted run returns a partial set; precision/recall
                 // against it would be meaningless.
@@ -361,7 +405,7 @@ pub fn fig11(scale: Scale, budget: Duration) -> Vec<Table> {
 }
 
 /// Fig. 12 — DFS vs BFS running time w.r.t. `min_sup`, both datasets.
-pub fn fig12(scale: Scale, budget: Duration) -> Vec<Table> {
+pub fn fig12(scale: Scale, budget: Duration, obs: &mut Observe) -> Vec<Table> {
     sweep_variants(
         scale,
         budget,
@@ -372,6 +416,7 @@ pub fn fig12(scale: Scale, budget: Duration) -> Vec<Table> {
             MinerConfig::new(abs_min_sup(db, value), 0.8).with_fcp_method(FcpMethod::ApproxOnly)
         },
         "min_sup",
+        obs,
     )
 }
 
@@ -449,16 +494,24 @@ mod tests {
 
     #[test]
     fn fig5_produces_full_grids() {
-        let tables = fig5(Scale::Tiny, FAST);
+        let mut obs = Observe::none();
+        let tables = fig5(Scale::Tiny, FAST, &mut obs);
         assert_eq!(tables.len(), 2);
         for t in &tables {
             assert_eq!(t.len(), 5, "{}", t.title());
+            assert!(t
+                .to_csv()
+                .lines()
+                .next()
+                .unwrap()
+                .contains("mpfci_freq_dp_s"));
         }
+        assert!(obs.runs > 0, "runs are mediated by the observer");
     }
 
     #[test]
     fn fig10_counts_are_ordered() {
-        let tables = fig10(Scale::Tiny, FAST);
+        let tables = fig10(Scale::Tiny, FAST, &mut Observe::none());
         assert_eq!(tables.len(), 2);
         for t in &tables {
             let csv = t.to_csv();
@@ -476,9 +529,15 @@ mod tests {
 
     #[test]
     fn fig12_has_dfs_and_bfs_columns() {
-        let tables = fig12(Scale::Tiny, FAST);
+        let tables = fig12(Scale::Tiny, FAST, &mut Observe::none());
         for t in &tables {
             assert!(t.to_csv().starts_with("min_sup,MPFCI,MPFCI-BFS"));
+            assert!(t
+                .to_csv()
+                .lines()
+                .next()
+                .unwrap()
+                .contains("MPFCI_fcp_sample_s"));
         }
     }
 }

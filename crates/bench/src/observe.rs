@@ -1,0 +1,126 @@
+//! Observability plumbing for the experiment drivers.
+//!
+//! [`Observe`] bundles the optional run-level sinks the `repro` binary
+//! can enable — a [`JsonlSink`] (`--trace FILE.jsonl`) and a
+//! [`ProgressSink`] (`--progress`) — and mediates every mining run the
+//! drivers perform. It also accumulates the [`MinerStats`] and
+//! [`PhaseTimers`] totals of those runs, so a written trace can be
+//! reconciled event-by-event against the printed aggregates
+//! ([`Observe::reconcile_trace`]).
+
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
+
+use pfcim_core::trace::parse_jsonl;
+use pfcim_core::{
+    mine_naive_with, mine_with, CountingSink, JsonlSink, MinerConfig, MinerStats, MiningOutcome,
+    NullSink, PhaseTimers, ProgressSink, Tee,
+};
+use utdb::UncertainDatabase;
+
+/// Optional per-run observers threaded through the experiment drivers,
+/// plus the aggregate counters of every run they mediated.
+#[derive(Default)]
+pub struct Observe {
+    trace: Option<(PathBuf, JsonlSink<BufWriter<File>>)>,
+    progress: Option<ProgressSink>,
+    /// Counter totals over every mediated run.
+    pub totals: MinerStats,
+    /// Phase-timer totals over every mediated run.
+    pub timers: PhaseTimers,
+    /// Number of mining runs mediated.
+    pub runs: u64,
+}
+
+impl Observe {
+    /// No observers; runs are mediated (totals still accumulate) with
+    /// zero callback overhead.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Stream a JSONL trace of every mediated run to `path`.
+    pub fn with_trace(mut self, path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let sink = JsonlSink::create(&path)?;
+        self.trace = Some((path, sink));
+        Ok(self)
+    }
+
+    /// Print a throttled stderr heartbeat during mediated runs.
+    pub fn with_progress(mut self) -> Self {
+        self.progress = Some(ProgressSink::new());
+        self
+    }
+
+    /// True when a trace or progress observer is attached.
+    pub fn is_active(&self) -> bool {
+        self.trace.is_some() || self.progress.is_some()
+    }
+
+    /// Run the configured miner (DFS/BFS per `cfg.search`) under the
+    /// attached observers.
+    pub fn run(&mut self, db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+        let outcome = match (&mut self.trace, &mut self.progress) {
+            (Some((_, t)), Some(p)) => mine_with(db, cfg, &mut Tee(t, p)),
+            (Some((_, t)), None) => mine_with(db, cfg, t),
+            (None, Some(p)) => mine_with(db, cfg, p),
+            (None, None) => mine_with(db, cfg, &mut NullSink),
+        };
+        self.absorb(&outcome);
+        outcome
+    }
+
+    /// Run the Naive baseline under the attached observers.
+    pub fn run_naive(&mut self, db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+        let outcome = match (&mut self.trace, &mut self.progress) {
+            (Some((_, t)), Some(p)) => mine_naive_with(db, cfg, &mut Tee(t, p)),
+            (Some((_, t)), None) => mine_naive_with(db, cfg, t),
+            (None, Some(p)) => mine_naive_with(db, cfg, p),
+            (None, None) => mine_naive_with(db, cfg, &mut NullSink),
+        };
+        self.absorb(&outcome);
+        outcome
+    }
+
+    fn absorb(&mut self, outcome: &MiningOutcome) {
+        self.totals.absorb(&outcome.stats);
+        self.timers.absorb(&outcome.timers);
+        self.runs += 1;
+    }
+
+    /// Flush the trace (if any) and reconcile it: parse the file back,
+    /// aggregate its events through a [`CountingSink`], and compare
+    /// against the live totals. Returns a human-readable summary, or an
+    /// error describing the flush/parse/reconciliation failure.
+    ///
+    /// Consumes the observer — call once, after the last run.
+    pub fn finish(mut self) -> Result<Option<String>, String> {
+        let Some((path, sink)) = self.trace.take() else {
+            return Ok(None);
+        };
+        sink.finish()
+            .map_err(|e| format!("flushing {}: {e}", path.display()))?;
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("re-reading {}: {e}", path.display()))?;
+        let events = parse_jsonl(&text).map_err(|e| e.to_string())?;
+        let mut counted = CountingSink::default();
+        for event in &events {
+            counted.absorb_event(event);
+        }
+        if counted.stats != self.totals {
+            return Err(format!(
+                "trace/stats mismatch:\n  trace  {}\n  stats  {}",
+                counted.stats, self.totals
+            ));
+        }
+        Ok(Some(format!(
+            "trace {}: {} events over {} runs reconcile with live stats [{}]",
+            path.display(),
+            events.len(),
+            self.runs,
+            self.totals
+        )))
+    }
+}

@@ -114,6 +114,24 @@ pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
+/// Column names for a per-phase time breakdown, one per
+/// [`pfcim_core::Phase`] in canonical order, e.g. `mpfci_freq_dp_s` for
+/// prefix `mpfci`.
+pub fn phase_headers(prefix: &str) -> Vec<String> {
+    pfcim_core::Phase::ALL
+        .iter()
+        .map(|p| format!("{prefix}_{}_s", p.name()))
+        .collect()
+}
+
+/// Per-phase totals in seconds, matching [`phase_headers`] order.
+pub fn phase_cells(timers: &pfcim_core::PhaseTimers) -> Vec<String> {
+    pfcim_core::Phase::ALL
+        .iter()
+        .map(|p| secs(timers.total(*p)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +182,20 @@ mod tests {
     fn row_width_is_enforced() {
         let mut t = Table::new("t", &["a", "b"]);
         t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn phase_columns_align_with_timers() {
+        use pfcim_core::{Phase, PhaseTimers};
+        let headers = phase_headers("mpfci");
+        assert_eq!(headers.len(), Phase::COUNT);
+        assert_eq!(headers[0], "mpfci_freq_dp_s");
+        let mut timers = PhaseTimers::default();
+        timers.add(Phase::FcpSample, std::time::Duration::from_millis(1500));
+        let cells = phase_cells(&timers);
+        assert_eq!(cells.len(), headers.len());
+        let idx = Phase::FcpSample.index();
+        assert_eq!(cells[idx], "1.500");
+        assert_eq!(cells[Phase::FreqDp.index()], "0.000");
     }
 }

@@ -16,14 +16,25 @@ use utdb::{Item, TidSet, UncertainDatabase};
 use crate::config::MinerConfig;
 use crate::evaluator::Evaluator;
 use crate::result::MiningOutcome;
+use crate::trace::{timed, MinerSink, NullSink, Phase, PruneKind};
 
 /// Mine all probabilistic frequent closed itemsets breadth-first.
 pub fn mine_bfs(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
+    mine_bfs_with(db, config, &mut NullSink)
+}
+
+/// [`mine_bfs`], observed by `sink` (see [`crate::trace`]).
+pub fn mine_bfs_with<S: MinerSink + ?Sized>(
+    db: &UncertainDatabase,
+    config: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
     config.validate();
+    sink.run_started("bfs", config);
     let start = Instant::now();
     let deadline = config.time_budget.map(|b| start + b);
     let mut timed_out = false;
-    let mut evaluator = Evaluator::new(db, config);
+    let mut evaluator = Evaluator::new(db, config, sink);
     let mut scratch = FreqProbScratch::new();
     let mut results = Vec::new();
 
@@ -47,6 +58,7 @@ pub fn mine_bfs(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
                 }
             }
             evaluator.stats.nodes_visited += 1;
+            evaluator.sink.node_entered(items.len());
             if let Some(pfci) = evaluator.evaluate(items, tids, *pr_f) {
                 results.push(pfci);
             }
@@ -74,39 +86,64 @@ pub fn mine_bfs(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
         level = next;
     }
 
+    let Evaluator {
+        stats,
+        timers,
+        sink,
+        ..
+    } = evaluator;
     results.sort_by(|a, b| a.items.cmp(&b.items));
-    MiningOutcome {
+    let outcome = MiningOutcome {
         results,
-        stats: evaluator.stats,
+        stats,
+        timers,
         elapsed: start.elapsed(),
         timed_out,
-    }
+    };
+    sink.run_finished(&outcome);
+    outcome
 }
 
 /// Probabilistic-frequency qualification shared with the DFS miner's
 /// logic: count, optional Chernoff–Hoeffding refutation, exact DP.
-fn qualify(
+fn qualify<S: MinerSink + ?Sized>(
     db: &UncertainDatabase,
     cfg: &MinerConfig,
     tids: &TidSet,
     scratch: &mut FreqProbScratch,
-    evaluator: &mut Evaluator<'_>,
+    evaluator: &mut Evaluator<'_, S>,
 ) -> Option<f64> {
     let count = tids.count();
     if count < cfg.min_sup {
         return None;
     }
     if cfg.pruning.chernoff_hoeffding {
-        let esup: f64 = tids.iter().map(|tid| db.probability(tid)).sum();
-        if hoeffding_infrequent(esup, count, cfg.min_sup, cfg.pfct) {
+        let refuted = timed(
+            Phase::ChBound,
+            &mut evaluator.timers,
+            &mut *evaluator.sink,
+            || {
+                let esup: f64 = tids.iter().map(|tid| db.probability(tid)).sum();
+                hoeffding_infrequent(esup, count, cfg.min_sup, cfg.pfct)
+            },
+        );
+        if refuted {
             evaluator.stats.ch_pruned += 1;
+            evaluator.sink.prune_fired(PruneKind::ChernoffHoeffding);
             return None;
         }
     }
     evaluator.stats.freq_prob_evals += 1;
-    let pr_f = scratch.tail(db, tids, cfg.min_sup);
+    let pr_f = timed(
+        Phase::FreqDp,
+        &mut evaluator.timers,
+        &mut *evaluator.sink,
+        || scratch.tail(db, tids, cfg.min_sup),
+    );
+    evaluator.sink.freq_prob_evaluated(pr_f);
     if pr_f <= cfg.pfct {
         evaluator.stats.freq_pruned += 1;
+        evaluator.sink.prune_fired(PruneKind::FreqProb);
         return None;
     }
     Some(pr_f)

@@ -3,6 +3,11 @@
 //! Both search frameworks (DFS and BFS) and the Naive baseline funnel
 //! surviving itemsets through this checking phase — the "Bounding" and
 //! "Checking" stages of the paper's Bounding–Pruning–Checking framework.
+//!
+//! The evaluator owns the run's observability state: the [`MinerStats`]
+//! counters, the [`PhaseTimers`] and the [`MinerSink`] the run was
+//! started with. It is generic over the sink type, so runs with the
+//! default [`crate::trace::NullSink`] monomorphize every callback away.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -10,38 +15,48 @@ use utdb::{Item, TidSet, UncertainDatabase};
 
 use crate::config::{FcpMethod, MinerConfig};
 use crate::events::NonClosureEvents;
-use crate::fcp::{approx_fcp, approx_fcp_adaptive};
+use crate::fcp::{approx_fcp_adaptive_traced, approx_fcp_traced};
 use crate::result::Pfci;
-use crate::stats::MinerStats;
+use crate::stats::{MinerStats, PhaseTimers};
+use crate::trace::{timed, FcpEvalKind, MinerSink, Phase, PruneKind};
 
 /// Bounds intervals narrower than this are treated as decided without a
 /// full FCP computation (the paper's "upper bound equals lower bound").
 const DECIDED_WIDTH: f64 = 1e-6;
 
-pub(crate) struct Evaluator<'a> {
+pub(crate) struct Evaluator<'a, S: MinerSink + ?Sized> {
     pub db: &'a UncertainDatabase,
     pub cfg: &'a MinerConfig,
     pub rng: SmallRng,
     pub stats: MinerStats,
+    pub timers: PhaseTimers,
+    pub sink: &'a mut S,
 }
 
-impl<'a> Evaluator<'a> {
-    pub fn new(db: &'a UncertainDatabase, cfg: &'a MinerConfig) -> Self {
+impl<'a, S: MinerSink + ?Sized> Evaluator<'a, S> {
+    pub fn new(db: &'a UncertainDatabase, cfg: &'a MinerConfig, sink: &'a mut S) -> Self {
         Self {
             db,
             cfg,
             rng: SmallRng::seed_from_u64(cfg.seed),
             stats: MinerStats::default(),
+            timers: PhaseTimers::default(),
+            sink,
         }
     }
 
     /// Build the non-closure event family of `items` over every other item
     /// in the database.
-    pub fn events_for(&self, items: &[Item], tids: &TidSet) -> NonClosureEvents {
-        let ext = (0..self.db.num_items() as u32)
-            .map(Item)
-            .filter(|i| items.binary_search(i).is_err());
-        NonClosureEvents::build(self.db, tids, ext, self.cfg.min_sup)
+    pub fn events_for(&mut self, items: &[Item], tids: &TidSet) -> NonClosureEvents {
+        let db = self.db;
+        let min_sup = self.cfg.min_sup;
+        let num_items = db.num_items() as u32;
+        timed(Phase::EventBuild, &mut self.timers, &mut *self.sink, || {
+            let ext = (0..num_items)
+                .map(Item)
+                .filter(|i| items.binary_search(i).is_err());
+            NonClosureEvents::build(db, tids, ext, min_sup)
+        })
     }
 
     /// Full checking phase for an itemset that survived all prunings:
@@ -50,38 +65,46 @@ impl<'a> Evaluator<'a> {
     pub fn evaluate(&mut self, items: &[Item], tids: &TidSet, pr_f: f64) -> Option<Pfci> {
         let events = self.events_for(items, tids);
         let (lo, hi) = if self.cfg.pruning.probability_bounds {
-            let (lo, hi) =
-                events.fcp_bounds(pr_f, self.cfg.max_pairwise_events, Some(self.cfg.pfct));
-            if hi <= self.cfg.pfct {
+            let max_pairwise = self.cfg.max_pairwise_events;
+            let pfct = self.cfg.pfct;
+            let (lo, hi) = timed(Phase::BoundEval, &mut self.timers, &mut *self.sink, || {
+                events.fcp_bounds(pr_f, max_pairwise, Some(pfct))
+            });
+            self.sink.fcp_bounds(lo, hi);
+            if hi <= pfct {
                 self.stats.bound_rejected += 1;
+                self.sink.prune_fired(PruneKind::BoundReject);
                 return None;
             }
-            if lo > self.cfg.pfct && hi - lo < DECIDED_WIDTH {
+            if lo > pfct && hi - lo < DECIDED_WIDTH {
                 self.stats.bound_decided += 1;
-                return Some(self.pfci(items, (lo + hi) / 2.0, pr_f));
+                self.sink.fcp_evaluated(FcpEvalKind::BoundDecided, 0);
+                return Some(self.emit(items, (lo + hi) / 2.0, pr_f));
             }
             (lo, hi)
         } else {
             (0.0, pr_f)
         };
         let fcp = self.compute_fcp(&events, pr_f).clamp(lo, hi);
-        (fcp > self.cfg.pfct).then(|| self.pfci(items, fcp, pr_f))
+        (fcp > self.cfg.pfct).then(|| self.emit(items, fcp, pr_f))
     }
 
     /// Naive checking (the paper's "Naive" baseline): always run
     /// `ApproxFCP`, no bounds.
     pub fn evaluate_naive(&mut self, items: &[Item], tids: &TidSet, pr_f: f64) -> Option<Pfci> {
         let events = self.events_for(items, tids);
-        let r = approx_fcp(
+        let r = approx_fcp_traced(
             &events,
             pr_f,
             self.cfg.epsilon,
             self.cfg.delta,
             &mut self.rng,
+            &mut self.timers,
+            &mut *self.sink,
         );
         self.stats.fcp_sampled += 1;
         self.stats.samples_drawn += r.samples as u64;
-        (r.fcp > self.cfg.pfct).then(|| self.pfci(items, r.fcp, pr_f))
+        (r.fcp > self.cfg.pfct).then(|| self.emit(items, r.fcp, pr_f))
     }
 
     fn compute_fcp(&mut self, events: &NonClosureEvents, pr_f: f64) -> f64 {
@@ -92,24 +115,31 @@ impl<'a> Evaluator<'a> {
         };
         if use_exact {
             self.stats.fcp_exact += 1;
-            let union = prob::exact_union_probability(events.len(), |s| events.joint(s));
+            let union = timed(Phase::FcpExact, &mut self.timers, &mut *self.sink, || {
+                prob::exact_union_probability(events.len(), |s| events.joint(s))
+            });
+            self.sink.fcp_evaluated(FcpEvalKind::Exact, 0);
             (pr_f - union).clamp(0.0, pr_f)
         } else {
             let r = if matches!(self.cfg.fcp_method, FcpMethod::ApproxAdaptive) {
-                approx_fcp_adaptive(
+                approx_fcp_adaptive_traced(
                     events,
                     pr_f,
                     self.cfg.epsilon,
                     self.cfg.delta,
                     &mut self.rng,
+                    &mut self.timers,
+                    &mut *self.sink,
                 )
             } else {
-                approx_fcp(
+                approx_fcp_traced(
                     events,
                     pr_f,
                     self.cfg.epsilon,
                     self.cfg.delta,
                     &mut self.rng,
+                    &mut self.timers,
+                    &mut *self.sink,
                 )
             };
             self.stats.fcp_sampled += 1;
@@ -118,7 +148,11 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn pfci(&self, items: &[Item], fcp: f64, pr_f: f64) -> Pfci {
+    /// Build the accepted result and notify the sink — the single point
+    /// every success path funnels through, so `result_emitted` events are
+    /// one-to-one with returned results.
+    fn emit(&mut self, items: &[Item], fcp: f64, pr_f: f64) -> Pfci {
+        self.sink.result_emitted(items, fcp);
         Pfci {
             items: items.to_vec(),
             fcp,

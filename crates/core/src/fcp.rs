@@ -14,6 +14,8 @@ use prob::dnf::{
 use rand::Rng;
 
 use crate::events::NonClosureEvents;
+use crate::stats::PhaseTimers;
+use crate::trace::{timed, FcpEvalKind, MinerSink, Phase};
 
 /// Result of one `ApproxFCP` run.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +88,44 @@ pub fn approx_fcp_adaptive<R: Rng>(
         fnc: est.estimate,
         samples: est.samples,
     }
+}
+
+/// [`approx_fcp`] as an instrumented phase: the sampling pass is timed
+/// into `timers` under [`Phase::FcpSample`] and the sink receives the
+/// phase bracket plus one [`FcpEvalKind::Sampled`] event carrying the
+/// samples drawn.
+pub fn approx_fcp_traced<R: Rng, S: MinerSink + ?Sized>(
+    events: &NonClosureEvents,
+    pr_f: f64,
+    epsilon: f64,
+    delta: f64,
+    rng: &mut R,
+    timers: &mut PhaseTimers,
+    sink: &mut S,
+) -> ApproxFcpResult {
+    let r = timed(Phase::FcpSample, timers, &mut *sink, || {
+        approx_fcp(events, pr_f, epsilon, delta, rng)
+    });
+    sink.fcp_evaluated(FcpEvalKind::Sampled, r.samples as u64);
+    r
+}
+
+/// [`approx_fcp_adaptive`] as an instrumented phase; see
+/// [`approx_fcp_traced`].
+pub fn approx_fcp_adaptive_traced<R: Rng, S: MinerSink + ?Sized>(
+    events: &NonClosureEvents,
+    pr_f: f64,
+    epsilon: f64,
+    delta: f64,
+    rng: &mut R,
+    timers: &mut PhaseTimers,
+    sink: &mut S,
+) -> ApproxFcpResult {
+    let r = timed(Phase::FcpSample, timers, &mut *sink, || {
+        approx_fcp_adaptive(events, pr_f, epsilon, delta, rng)
+    });
+    sink.fcp_evaluated(FcpEvalKind::Sampled, r.samples as u64);
+    r
 }
 
 #[cfg(test)]
@@ -167,6 +207,34 @@ mod tests {
         // The union here is sizeable relative to Z, so adaptivity saves
         // samples.
         assert!(adaptive.samples <= fixed.samples);
+    }
+
+    #[test]
+    fn traced_wrapper_matches_untraced_and_reports() {
+        let db = table2();
+        let (events, pr_f) = family(&db, "a b c", 2);
+        let plain = approx_fcp(&events, pr_f, 0.05, 0.05, &mut SmallRng::seed_from_u64(7));
+        let mut timers = PhaseTimers::default();
+        let mut rec = crate::trace::RecordingSink::default();
+        let traced = approx_fcp_traced(
+            &events,
+            pr_f,
+            0.05,
+            0.05,
+            &mut SmallRng::seed_from_u64(7),
+            &mut timers,
+            &mut rec,
+        );
+        assert_eq!(plain.fcp, traced.fcp);
+        assert_eq!(plain.samples, traced.samples);
+        assert_eq!(timers.count(Phase::FcpSample), 1);
+        assert!(rec.events.iter().any(|e| matches!(
+            e,
+            crate::trace::TraceEvent::FcpEval {
+                method: FcpEvalKind::Sampled,
+                ..
+            }
+        )));
     }
 
     #[test]

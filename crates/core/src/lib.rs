@@ -24,7 +24,10 @@
 //!
 //! A breadth-first variant ([`bfs`]), the Naive baseline ([`naive`]) and
 //! per-run instrumentation ([`stats`]) complete the experimental surface
-//! of the paper's Section V.
+//! of the paper's Section V. The [`trace`] module adds pluggable
+//! observability: every miner has a `*_with` variant taking a
+//! [`MinerSink`] that receives node/pruning/evaluation events, JSONL run
+//! traces and per-phase wall-clock timings.
 //!
 //! # Quick start
 //!
@@ -58,13 +61,18 @@ pub mod mpfci;
 pub mod naive;
 pub mod result;
 pub mod stats;
+pub mod trace;
 
-pub use bfs::mine_bfs;
+pub use bfs::{mine_bfs, mine_bfs_with};
 pub use config::{FcpMethod, MinerConfig, PruningConfig, SearchStrategy, Variant};
 pub use events::NonClosureEvents;
 pub use exact::{exact_fcp_by_worlds, exact_fcp_inclusion_exclusion, exact_pfci_set};
-pub use fcp::{approx_fcp, approx_fcp_adaptive};
-pub use mpfci::{mine, mine_dfs};
-pub use naive::mine_naive;
+pub use fcp::{approx_fcp, approx_fcp_adaptive, approx_fcp_adaptive_traced, approx_fcp_traced};
+pub use mpfci::{mine, mine_dfs, mine_dfs_with, mine_with};
+pub use naive::{mine_naive, mine_naive_with};
 pub use result::{MiningOutcome, Pfci};
-pub use stats::MinerStats;
+pub use stats::{MinerStats, PhaseTimers, TimedStats};
+pub use trace::{
+    parse_jsonl, CountingSink, FcpEvalKind, JsonlSink, MinerSink, NullSink, Phase, ProgressSink,
+    PruneKind, RecordingSink, Tee, TraceEvent,
+};

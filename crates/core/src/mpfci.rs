@@ -27,23 +27,43 @@ use utdb::{Item, TidSet, UncertainDatabase};
 use crate::config::{MinerConfig, SearchStrategy};
 use crate::evaluator::Evaluator;
 use crate::result::{MiningOutcome, Pfci};
+use crate::trace::{timed, MinerSink, NullSink, Phase, PruneKind};
 
 /// Mine all probabilistic frequent closed itemsets with the configured
 /// search strategy.
 pub fn mine(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
+    mine_with(db, config, &mut NullSink)
+}
+
+/// [`mine`], observed by `sink` (see [`crate::trace`]).
+pub fn mine_with<S: MinerSink + ?Sized>(
+    db: &UncertainDatabase,
+    config: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
     match config.search {
-        SearchStrategy::Dfs => mine_dfs(db, config),
-        SearchStrategy::Bfs => crate::bfs::mine_bfs(db, config),
+        SearchStrategy::Dfs => mine_dfs_with(db, config, sink),
+        SearchStrategy::Bfs => crate::bfs::mine_bfs_with(db, config, sink),
     }
 }
 
 /// The depth-first `ProbFC` algorithm.
 pub fn mine_dfs(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
+    mine_dfs_with(db, config, &mut NullSink)
+}
+
+/// [`mine_dfs`], observed by `sink` (see [`crate::trace`]).
+pub fn mine_dfs_with<S: MinerSink + ?Sized>(
+    db: &UncertainDatabase,
+    config: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
     config.validate();
+    sink.run_started("dfs", config);
     let start = Instant::now();
     let deadline = config.time_budget.map(|b| start + b);
     let mut miner = DfsMiner {
-        evaluator: Evaluator::new(db, config),
+        evaluator: Evaluator::new(db, config, sink),
         scratch: FreqProbScratch::new(),
         results: Vec::new(),
         deadline,
@@ -60,25 +80,39 @@ pub fn mine_dfs(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
         }
     }
 
-    let mut results = miner.results;
+    let DfsMiner {
+        evaluator,
+        mut results,
+        timed_out,
+        ..
+    } = miner;
+    let Evaluator {
+        stats,
+        timers,
+        sink,
+        ..
+    } = evaluator;
     results.sort_by(|a, b| a.items.cmp(&b.items));
-    MiningOutcome {
+    let outcome = MiningOutcome {
         results,
-        stats: miner.evaluator.stats,
+        stats,
+        timers,
         elapsed: start.elapsed(),
-        timed_out: miner.timed_out,
-    }
+        timed_out,
+    };
+    sink.run_finished(&outcome);
+    outcome
 }
 
-struct DfsMiner<'a> {
-    evaluator: Evaluator<'a>,
+struct DfsMiner<'a, S: MinerSink + ?Sized> {
+    evaluator: Evaluator<'a, S>,
     scratch: FreqProbScratch,
     results: Vec<Pfci>,
     deadline: Option<Instant>,
     timed_out: bool,
 }
 
-impl DfsMiner<'_> {
+impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
     /// Is the itemset with tid-set `tids` a probabilistic frequent
     /// itemset? Returns its exact frequent probability when it is.
     /// Applies the Chernoff–Hoeffding refutation first when enabled.
@@ -90,16 +124,35 @@ impl DfsMiner<'_> {
             return None;
         }
         if cfg.pruning.chernoff_hoeffding {
-            let esup: f64 = tids.iter().map(|tid| db.probability(tid)).sum();
-            if hoeffding_infrequent(esup, count, cfg.min_sup, cfg.pfct) {
+            let refuted = timed(
+                Phase::ChBound,
+                &mut self.evaluator.timers,
+                &mut *self.evaluator.sink,
+                || {
+                    let esup: f64 = tids.iter().map(|tid| db.probability(tid)).sum();
+                    hoeffding_infrequent(esup, count, cfg.min_sup, cfg.pfct)
+                },
+            );
+            if refuted {
                 self.evaluator.stats.ch_pruned += 1;
+                self.evaluator
+                    .sink
+                    .prune_fired(PruneKind::ChernoffHoeffding);
                 return None;
             }
         }
         self.evaluator.stats.freq_prob_evals += 1;
-        let pr_f = self.scratch.tail(db, tids, cfg.min_sup);
+        let scratch = &mut self.scratch;
+        let pr_f = timed(
+            Phase::FreqDp,
+            &mut self.evaluator.timers,
+            &mut *self.evaluator.sink,
+            || scratch.tail(db, tids, cfg.min_sup),
+        );
+        self.evaluator.sink.freq_prob_evaluated(pr_f);
         if pr_f <= cfg.pfct {
             self.evaluator.stats.freq_pruned += 1;
+            self.evaluator.sink.prune_fired(PruneKind::FreqProb);
             return None;
         }
         Some(pr_f)
@@ -122,6 +175,7 @@ impl DfsMiner<'_> {
         let db = self.evaluator.db;
         let cfg = self.evaluator.cfg;
         self.evaluator.stats.nodes_visited += 1;
+        self.evaluator.sink.node_entered(items.len());
 
         // --- Superset pruning (Lemma 4.2) --------------------------------
         if cfg.pruning.superset {
@@ -135,6 +189,7 @@ impl DfsMiner<'_> {
                     // X and every superset with X as prefix appear only
                     // together with `pre`: the whole subtree is dead.
                     self.evaluator.stats.superset_pruned += 1;
+                    self.evaluator.sink.prune_fired(PruneKind::Superset);
                     return;
                 }
             }
@@ -156,6 +211,7 @@ impl DfsMiner<'_> {
                 // remaining sibling subtrees (which cannot contain `ext`)
                 // are never closed either — only this branch survives.
                 self.evaluator.stats.subset_pruned += 1;
+                self.evaluator.sink.prune_fired(PruneKind::Subset);
                 x_closed = false;
                 // T(X∪ext) = T(X), so the frequent probability carries over.
                 items.push(ext);

@@ -14,6 +14,7 @@ use utdb::UncertainDatabase;
 use crate::config::MinerConfig;
 use crate::evaluator::Evaluator;
 use crate::result::MiningOutcome;
+use crate::trace::{MinerSink, NullSink};
 
 /// Mine probabilistic frequent closed itemsets by exhaustively checking
 /// every probabilistic frequent itemset.
@@ -22,11 +23,21 @@ use crate::result::MiningOutcome;
 /// `Pr_F(X) ≤ pfct` has `Pr_FC(X) ≤ pfct` too, so the restriction loses
 /// nothing.
 pub fn mine_naive(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
+    mine_naive_with(db, config, &mut NullSink)
+}
+
+/// [`mine_naive`], observed by `sink` (see [`crate::trace`]).
+pub fn mine_naive_with<S: MinerSink + ?Sized>(
+    db: &UncertainDatabase,
+    config: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
     config.validate();
+    sink.run_started("naive", config);
     let start = Instant::now();
     let deadline = config.time_budget.map(|b| start + b);
     let mut timed_out = false;
-    let mut evaluator = Evaluator::new(db, config);
+    let mut evaluator = Evaluator::new(db, config, sink);
 
     let pfis = pfim::probabilistic_frequent_itemsets(db, config.min_sup, config.pfct);
     let mut results = Vec::new();
@@ -38,19 +49,29 @@ pub fn mine_naive(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome
             }
         }
         evaluator.stats.nodes_visited += 1;
+        evaluator.sink.node_entered(pfi.items.len());
         let tids = db.tidset_of_itemset(&pfi.items);
         if let Some(pfci) = evaluator.evaluate_naive(&pfi.items, &tids, pfi.frequent_probability) {
             results.push(pfci);
         }
     }
 
+    let Evaluator {
+        stats,
+        timers,
+        sink,
+        ..
+    } = evaluator;
     results.sort_by(|a, b| a.items.cmp(&b.items));
-    MiningOutcome {
+    let outcome = MiningOutcome {
         results,
-        stats: evaluator.stats,
+        stats,
+        timers,
         elapsed: start.elapsed(),
         timed_out,
-    }
+    };
+    sink.run_finished(&outcome);
+    outcome
 }
 
 #[cfg(test)]

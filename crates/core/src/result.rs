@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use utdb::{Item, UncertainDatabase};
 
-use crate::stats::MinerStats;
+use crate::stats::{MinerStats, PhaseTimers};
 
 /// One probabilistic frequent closed itemset (Definition 3.8).
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +33,9 @@ pub struct MiningOutcome {
     pub results: Vec<Pfci>,
     /// Work counters.
     pub stats: MinerStats,
+    /// Wall-clock totals per instrumented phase (freq-dp, ch-bound,
+    /// event-build, bound-eval, fcp-exact, fcp-sample).
+    pub timers: PhaseTimers,
     /// Wall-clock duration.
     pub elapsed: Duration,
     /// True when the run hit its configured time budget and aborted
@@ -51,6 +54,16 @@ impl MiningOutcome {
     /// equality tests compare.
     pub fn itemsets(&self) -> Vec<Vec<Item>> {
         self.results.iter().map(|p| p.items.clone()).collect()
+    }
+
+    /// Counters, timers and wall-clock time as one [`TimedStats`] bundle
+    /// (the shape sweeps aggregate).
+    pub fn timed_stats(&self) -> crate::stats::TimedStats {
+        crate::stats::TimedStats {
+            stats: self.stats,
+            elapsed: self.elapsed,
+            timers: self.timers,
+        }
     }
 
     /// Look up the FCP of an itemset, if present.
@@ -93,6 +106,7 @@ mod tests {
                 },
             ],
             stats: MinerStats::default(),
+            timers: PhaseTimers::default(),
             elapsed: Duration::ZERO,
             timed_out: false,
         };

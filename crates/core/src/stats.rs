@@ -2,10 +2,14 @@
 //!
 //! The paper's Section V measures the *effectiveness of pruning
 //! strategies* indirectly through runtime; these counters expose it
-//! directly and back the ablation benches.
+//! directly and back the ablation benches. [`PhaseTimers`] adds the
+//! wall-clock dimension: where each run's time actually went, phase by
+//! phase (see [`crate::trace::Phase`]).
 
 use std::fmt;
 use std::time::Duration;
+
+use crate::trace::Phase;
 
 /// Counters accumulated over one mining run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,19 +67,89 @@ impl fmt::Display for MinerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "nodes={} super={} sub={} ch={} freq={} bound_rej={} bound_dec={} \
-             fcp_exact={} fcp_sampled={} samples={}",
+            "nodes={} super={} sub={} ch={} freq={} freq_prob_evals={} bound_rej={} \
+             bound_dec={} fcp_exact={} fcp_sampled={} samples={}",
             self.nodes_visited,
             self.superset_pruned,
             self.subset_pruned,
             self.ch_pruned,
             self.freq_pruned,
+            self.freq_prob_evals,
             self.bound_rejected,
             self.bound_decided,
             self.fcp_exact,
             self.fcp_sampled,
             self.samples_drawn,
         )
+    }
+}
+
+/// Wall-clock totals per instrumented phase ([`Phase`]), with call
+/// counts.
+///
+/// Accumulated by the shared evaluator via [`crate::trace::timed`] and
+/// returned in every [`crate::MiningOutcome`]; indexed by
+/// [`Phase::index`]. `Eq` compares exact nanosecond totals — meaningful
+/// only for replayed or absorbed timers, not across live runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimers {
+    totals: [Duration; Phase::COUNT],
+    counts: [u64; Phase::COUNT],
+}
+
+impl PhaseTimers {
+    /// Record one span of `phase`.
+    pub fn add(&mut self, phase: Phase, elapsed: Duration) {
+        self.totals[phase.index()] += elapsed;
+        self.counts[phase.index()] += 1;
+    }
+
+    /// Total time spent in `phase`.
+    pub fn total(&self, phase: Phase) -> Duration {
+        self.totals[phase.index()]
+    }
+
+    /// Number of spans recorded for `phase`.
+    pub fn count(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn grand_total(&self) -> Duration {
+        self.totals.iter().sum()
+    }
+
+    /// True when no span was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Merge another run's timers into this one (used by sweeps).
+    pub fn absorb(&mut self, other: &PhaseTimers) {
+        for i in 0..Phase::COUNT {
+            self.totals[i] += other.totals[i];
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+impl fmt::Display for PhaseTimers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for phase in Phase::ALL {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            write!(
+                f,
+                "{}={:.1?}/{}",
+                phase.name(),
+                self.total(phase),
+                self.count(phase)
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -86,6 +160,18 @@ pub struct TimedStats {
     pub stats: MinerStats,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Where the time went, phase by phase.
+    pub timers: PhaseTimers,
+}
+
+impl fmt::Display for TimedStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "elapsed={:.1?} | {} | phases: {}",
+            self.elapsed, self.stats, self.timers
+        )
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +203,33 @@ mod tests {
         let s = MinerStats::default().to_string();
         assert!(s.starts_with("nodes=0"));
         assert!(s.contains("samples=0"));
+        assert!(s.contains("freq_prob_evals=0"));
+    }
+
+    #[test]
+    fn phase_timers_accumulate_and_absorb() {
+        let mut t = PhaseTimers::default();
+        assert!(t.is_empty());
+        t.add(Phase::FreqDp, Duration::from_micros(10));
+        t.add(Phase::FreqDp, Duration::from_micros(5));
+        t.add(Phase::FcpSample, Duration::from_micros(100));
+        assert_eq!(t.total(Phase::FreqDp), Duration::from_micros(15));
+        assert_eq!(t.count(Phase::FreqDp), 2);
+        assert_eq!(t.grand_total(), Duration::from_micros(115));
+
+        let mut sum = PhaseTimers::default();
+        sum.absorb(&t);
+        sum.absorb(&t);
+        assert_eq!(sum.total(Phase::FcpSample), Duration::from_micros(200));
+        assert_eq!(sum.count(Phase::FreqDp), 4);
+    }
+
+    #[test]
+    fn timed_stats_display_mentions_every_phase() {
+        let s = TimedStats::default().to_string();
+        assert!(s.starts_with("elapsed="));
+        for phase in Phase::ALL {
+            assert!(s.contains(phase.name()), "{s}");
+        }
     }
 }

@@ -1,0 +1,284 @@
+//! Minimal, dependency-free micro-benchmark harness for the pfcim
+//! workspace.
+//!
+//! An in-tree stand-in for the `criterion` crate providing the subset of
+//! its API the workspace's benches use, so the build stays hermetic (no
+//! registry access). Statistics are deliberately simple: each benchmark
+//! runs a timed warm-up, then as many iterations as fit the configured
+//! measurement window (capped by `sample_size`), and reports the mean,
+//! minimum and maximum wall-clock time per iteration.
+//!
+//! Invoking a bench binary with `--list` prints the benchmark names
+//! without running them (mirroring the flag test harnesses pass).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement back-ends (wall-clock only in this shim).
+
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id with no parameter component.
+    pub fn from_name(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self::from_name(name)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self::from_name(name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: u64,
+    warm_up: Duration,
+    measurement: Duration,
+    list_only: bool,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording one timing sample per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.list_only {
+            return;
+        }
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measurement: one sample per iteration, stopping when either the
+        // sample budget or the measurement window is exhausted.
+        let measure_start = Instant::now();
+        self.samples.clear();
+        while (self.samples.len() as u64) < self.iters.max(1)
+            && (self.samples.is_empty() || measure_start.elapsed() < self.measurement)
+        {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed iterations per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up window before measurement (default 100 ms).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Measurement window (default 2 s).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.name, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.name, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, bench_name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, bench_name);
+        if self.criterion.list_only {
+            println!("{full}: benchmark");
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters: self.sample_size as u64,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            list_only: false,
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples);
+    }
+
+    /// Finish the group (a no-op hook kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{name:<50} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+        mean,
+        min,
+        max,
+        samples.len()
+    );
+}
+
+/// Benchmark driver: hands out [`BenchmarkGroup`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    list_only: bool,
+}
+
+impl Criterion {
+    /// Apply the recognised command-line flags (`--list`); unknown flags
+    /// (as passed by `cargo bench -- <filter>`) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.list_only = std::env::args().any(|a| a == "--list");
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 20,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_secs(2),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_owned();
+        self.benchmark_group(name.clone())
+            .bench_function(BenchmarkId::from_name(name), &mut f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` running the given [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export of [`std::hint::black_box`] for API compatibility.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs >= 3, "warm-up plus samples ran: {runs}");
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_param() {
+        assert_eq!(BenchmarkId::new("cap", 48).name, "cap/48");
+        assert_eq!(BenchmarkId::from_name("plain").name, "plain");
+    }
+}

@@ -227,7 +227,9 @@ mod tests {
 
     fn canonical(mut v: Vec<ExpectedItemset>) -> Vec<(Vec<utdb::Item>, f64)> {
         v.sort_by(|a, b| a.items.cmp(&b.items));
-        v.into_iter().map(|m| (m.items, m.expected_support)).collect()
+        v.into_iter()
+            .map(|m| (m.items, m.expected_support))
+            .collect()
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl SupportDistribution {
     ///
     /// Panics if `p` lies outside `[0, 1]`.
     pub fn push(&mut self, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "Bernoulli probability {p} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Bernoulli probability {p} outside [0, 1]"
+        );
         let n = self.pmf.len();
         self.pmf.push(0.0);
         for j in (0..n).rev() {

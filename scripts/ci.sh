@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints (warnings are errors), the full test
+# suite, and a compile check of every bench target. Run from anywhere;
+# everything executes at the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo test --workspace -q
+run cargo check --benches --workspace
+
+echo "ci: all checks passed"

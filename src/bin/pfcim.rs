@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] [--epsilon E] [--delta D]
-//!       [--variant mpfci|bfs|naive] [--stats]
+//!       [--variant mpfci|bfs|naive] [--stats] [--trace FILE.jsonl]
 //! ```
 //!
 //! The input format is one transaction per line: whitespace-separated
@@ -18,7 +18,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pfcim::core::{mine, mine_naive, MinerConfig, SearchStrategy};
+use pfcim::core::{mine_naive_with, mine_with, JsonlSink, MinerConfig, NullSink, SearchStrategy};
 use pfcim::utdb::io;
 
 struct Args {
@@ -29,6 +29,7 @@ struct Args {
     delta: f64,
     variant: String,
     stats: bool,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
     let mut delta = 0.1;
     let mut variant = "mpfci".to_owned();
     let mut stats = false;
+    let mut trace = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -59,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--variant" => variant = value("--variant")?,
             "--stats" => stats = true,
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
             "--help" | "-h" => return Err(String::new()),
             other if file.is_none() && !other.starts_with('-') => file = Some(PathBuf::from(other)),
             other => return Err(format!("unknown argument {other:?}")),
@@ -72,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         delta,
         variant,
         stats,
+        trace,
     })
 }
 
@@ -84,7 +88,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] \
-                 [--epsilon E] [--delta D] [--variant mpfci|bfs|naive] [--stats]"
+                 [--epsilon E] [--delta D] [--variant mpfci|bfs|naive] [--stats] \
+                 [--trace FILE.jsonl]"
             );
             return ExitCode::from(2);
         }
@@ -120,22 +125,52 @@ fn main() -> ExitCode {
         }
     };
 
-    let config = MinerConfig::new(min_sup, args.pfct).with_approximation(args.epsilon, args.delta);
-    let outcome = match args.variant.as_str() {
-        "mpfci" => mine(&db, &config),
+    let mut config =
+        MinerConfig::new(min_sup, args.pfct).with_approximation(args.epsilon, args.delta);
+    match args.variant.as_str() {
+        "mpfci" => {}
         "bfs" => {
-            let mut cfg = config;
-            cfg.search = SearchStrategy::Bfs;
-            cfg.pruning.superset = false;
-            cfg.pruning.subset = false;
-            mine(&db, &cfg)
+            config.search = SearchStrategy::Bfs;
+            config.pruning.superset = false;
+            config.pruning.subset = false;
         }
-        "naive" => mine_naive(&db, &config),
+        "naive" => {}
         other => {
             eprintln!("error: unknown variant {other:?}");
             return ExitCode::from(2);
         }
+    }
+
+    let mut trace_sink = match &args.trace {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(sink) => Some((path, sink)),
+            Err(e) => {
+                eprintln!("error: cannot open trace file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
+    let run = |sink: &mut dyn pfcim::core::MinerSink| {
+        if args.variant == "naive" {
+            mine_naive_with(&db, &config, sink)
+        } else {
+            mine_with(&db, &config, sink)
+        }
+    };
+    let outcome = match &mut trace_sink {
+        Some((_, sink)) => run(sink),
+        None => run(&mut NullSink),
+    };
+    if let Some((path, sink)) = trace_sink {
+        match sink.finish() {
+            Ok(_) => eprintln!("trace written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error writing trace {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     for pfci in &outcome.results {
         let ids: Vec<String> = pfci.items.iter().map(|i| i.0.to_string()).collect();
@@ -148,7 +183,7 @@ fn main() -> ExitCode {
         outcome.elapsed
     );
     if args.stats {
-        eprintln!("{}", outcome.stats);
+        eprintln!("{}", outcome.timed_stats());
     }
     ExitCode::SUCCESS
 }

@@ -8,10 +8,7 @@ fn bin() -> Command {
 }
 
 fn write_running_example() -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!(
-        "pfcim_cli_test_{}.dat",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("pfcim_cli_test_{}.dat", std::process::id()));
     let mut f = std::fs::File::create(&path).unwrap();
     writeln!(f, "1 2 3 4 : 0.9").unwrap();
     writeln!(f, "1 2 3 : 0.6").unwrap();
@@ -84,7 +81,10 @@ fn stats_flag_reports_counters() {
 fn bad_usage_exits_nonzero() {
     let out = bin().output().unwrap(); // no args
     assert_eq!(out.status.code(), Some(2));
-    let out = bin().args(["/nonexistent.dat", "--min-sup", "2"]).output().unwrap();
+    let out = bin()
+        .args(["/nonexistent.dat", "--min-sup", "2"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let path = write_running_example();
     let out = bin()
@@ -93,7 +93,13 @@ fn bad_usage_exits_nonzero() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
     let out = bin()
-        .args([path.to_str().unwrap(), "--min-sup", "2", "--variant", "quantum"])
+        .args([
+            path.to_str().unwrap(),
+            "--min-sup",
+            "2",
+            "--variant",
+            "quantum",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(2));

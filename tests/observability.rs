@@ -1,0 +1,159 @@
+//! End-to-end checks of the tracing layer through the public facade:
+//! trace events must reconcile exactly with the miner's own counters,
+//! observation must not perturb mining, and JSONL traces must survive a
+//! round trip through a real file.
+
+use pfcim::core::{
+    mine_bfs_with, mine_dfs_with, mine_naive_with, parse_jsonl, CountingSink, JsonlSink,
+    MinerConfig, MiningOutcome, NullSink, RecordingSink, SearchStrategy, TraceEvent,
+};
+use pfcim::utdb::UncertainDatabase;
+
+fn table2() -> UncertainDatabase {
+    UncertainDatabase::parse_symbolic(&[
+        ("a b c d", 0.9),
+        ("a b c", 0.6),
+        ("a b c", 0.7),
+        ("a b c d", 0.9),
+    ])
+}
+
+fn config() -> MinerConfig {
+    MinerConfig::new(2, 0.8)
+}
+
+fn bfs_config() -> MinerConfig {
+    let mut cfg = config();
+    cfg.search = SearchStrategy::Bfs;
+    cfg.pruning.superset = false;
+    cfg.pruning.subset = false;
+    cfg
+}
+
+type Runner = fn(&UncertainDatabase, &MinerConfig, &mut CountingSink) -> MiningOutcome;
+
+fn all_miners() -> [(&'static str, MinerConfig, Runner); 3] {
+    [
+        ("dfs", config(), |db, cfg, sink| {
+            mine_dfs_with(db, cfg, sink)
+        }),
+        ("bfs", bfs_config(), |db, cfg, sink| {
+            mine_bfs_with(db, cfg, sink)
+        }),
+        ("naive", config(), |db, cfg, sink| {
+            mine_naive_with(db, cfg, sink)
+        }),
+    ]
+}
+
+#[test]
+fn counting_sink_reconciles_with_miner_stats() {
+    // Every counter the miner reports must correspond one-to-one with
+    // events delivered to the sink, for each search strategy.
+    let db = table2();
+    for (name, cfg, run) in all_miners() {
+        let mut sink = CountingSink::default();
+        let outcome = run(&db, &cfg, &mut sink);
+        assert_eq!(
+            sink.stats, outcome.stats,
+            "{name}: sink-counted stats diverge from MinerStats"
+        );
+        assert_eq!(
+            sink.results_emitted,
+            outcome.results.len() as u64,
+            "{name}: result_emitted events diverge from result count"
+        );
+        assert_eq!(
+            sink.timers, outcome.timers,
+            "{name}: phase_end events diverge from PhaseTimers"
+        );
+    }
+}
+
+#[test]
+fn observation_does_not_perturb_mining() {
+    // A fully-instrumented run must produce byte-identical results and
+    // counters to the NullSink fast path.
+    let db = table2();
+    for (name, cfg, run) in all_miners() {
+        let baseline = match name {
+            "dfs" => mine_dfs_with(&db, &cfg, &mut NullSink),
+            "bfs" => mine_bfs_with(&db, &cfg, &mut NullSink),
+            _ => mine_naive_with(&db, &cfg, &mut NullSink),
+        };
+        let observed = run(&db, &cfg, &mut CountingSink::default());
+        assert_eq!(
+            baseline.results, observed.results,
+            "{name}: observation changed the mined results"
+        );
+        assert_eq!(
+            baseline.stats, observed.stats,
+            "{name}: observation changed the miner's counters"
+        );
+        assert_eq!(baseline.timed_out, observed.timed_out);
+    }
+}
+
+#[test]
+fn recording_sink_replays_into_the_same_aggregates() {
+    // The event stream alone (as a RecordingSink captured it) carries
+    // enough information to rebuild the run's statistics.
+    let db = table2();
+    let mut recorder = RecordingSink::default();
+    let outcome = mine_dfs_with(&db, &config(), &mut recorder);
+    assert!(matches!(
+        recorder.events.first(),
+        Some(TraceEvent::RunStart { .. })
+    ));
+    assert!(matches!(
+        recorder.events.last(),
+        Some(TraceEvent::RunEnd { .. })
+    ));
+    let mut counted = CountingSink::default();
+    for event in &recorder.events {
+        counted.absorb_event(event);
+    }
+    assert_eq!(counted.stats, outcome.stats);
+    assert_eq!(counted.timers, outcome.timers);
+    assert_eq!(counted.results_emitted, outcome.results.len() as u64);
+}
+
+#[test]
+fn jsonl_trace_round_trips_through_a_file() {
+    // Stream DFS and BFS runs into one JSONL file, read it back, and
+    // check the parsed events reconcile with both runs' summed stats.
+    let db = table2();
+    let path = std::env::temp_dir().join("pfcim_observability_trace.jsonl");
+    let mut sink = JsonlSink::create(&path).expect("create trace file");
+    let dfs = mine_dfs_with(&db, &config(), &mut sink);
+    let bfs = mine_bfs_with(&db, &bfs_config(), &mut sink);
+    sink.finish().expect("flush trace file");
+
+    let text = std::fs::read_to_string(&path).expect("re-read trace file");
+    let events = parse_jsonl(&text).expect("parse trace file");
+    assert_eq!(events.len(), text.lines().count());
+
+    let mut counted = CountingSink::default();
+    for event in &events {
+        counted.absorb_event(event);
+    }
+    let mut expected = dfs.stats;
+    expected.absorb(&bfs.stats);
+    assert_eq!(counted.stats, expected);
+    assert_eq!(
+        counted.results_emitted,
+        (dfs.results.len() + bfs.results.len()) as u64
+    );
+
+    // The two runs are delimited by their run_start algo tags.
+    let algos: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::RunStart { algo, .. } => Some(algo.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(algos, ["dfs", "bfs"]);
+
+    std::fs::remove_file(&path).ok();
+}
