@@ -1,0 +1,772 @@
+//! Versioned benchmark reports (`BENCH_<label>.json`): schema,
+//! serialization, an in-tree JSON parser for validation, and the
+//! regression comparator behind `bench-report --baseline/--compare`.
+//!
+//! A report captures one run of the dataset × algorithm matrix
+//! ([`crate::experiments::bench_cells`]): per-cell wall-clock and
+//! throughput, the per-phase time breakdown, node-latency quantiles from
+//! a [`pfcim_core::HistogramSink`], the pruning mix, and peak-memory
+//! numbers (RSS high-water from `/proc/self/status`, plus allocator
+//! counters when built with the `track-alloc` feature). Reports are
+//! plain JSON so they diff and archive well; [`BenchReport::from_json`]
+//! re-parses and schema-checks them with no external dependencies, which
+//! is what `scripts/ci.sh` runs against every emitted file.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pfcim_core::HistogramSummary;
+
+/// Schema version stamped into (and required of) every report.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Cells faster than this, or slowdowns smaller than this, never count
+/// as regressions — sub-5ms timings are dominated by noise.
+pub const NOISE_FLOOR_S: f64 = 0.005;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (validation only; the
+// writer side is hand-formatted like the rest of the workspace).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (key order is not preserved; keys sort).
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member `key` of an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: \uD8xx\uDCxx.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xd800) << 10)
+                                        + (low.wrapping_sub(0xdc00) & 0x3ff);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or(format!("bad \\u escape near byte {}", self.pos))?);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is a valid &str).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xc0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let s = std::str::from_utf8(slice).map_err(|_| "bad \\u escape")?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape")?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("bad number {s:?} at byte {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report schema
+// ---------------------------------------------------------------------
+
+/// One cell of the benchmark matrix: a (dataset, algorithm, min_sup)
+/// triple and everything measured while mining it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Dataset display name ([`crate::DatasetKind::name`]).
+    pub dataset: String,
+    /// Algorithm display name ([`crate::experiments::BenchAlgo::name`]).
+    pub algo: String,
+    /// Relative minimum support of the cell.
+    pub min_sup_rel: f64,
+    /// Wall-clock seconds of the mining run.
+    pub elapsed_s: f64,
+    /// True when the run hit the per-cell time budget (timings of such
+    /// cells are floors, and the comparator skips them).
+    pub timed_out: bool,
+    /// Enumeration nodes visited.
+    pub nodes: u64,
+    /// Throughput: `nodes / elapsed_s`.
+    pub nodes_per_s: f64,
+    /// Result itemsets emitted.
+    pub results: u64,
+    /// Per-phase wall-clock totals, keyed by [`pfcim_core::Phase::name`].
+    pub phase_s: BTreeMap<String, f64>,
+    /// Pruning mix: how many candidates each rule eliminated.
+    pub prune: BTreeMap<String, u64>,
+    /// Node-to-node latency distribution (seconds).
+    pub node_latency: HistogramSummary,
+    /// Peak RSS in bytes over the cell (`0` when `/proc` is unreadable;
+    /// monotone across cells when the kernel rejects the per-cell reset).
+    pub peak_rss_bytes: u64,
+    /// Allocator high-water bytes over the cell (`0` without the
+    /// `track-alloc` feature).
+    pub peak_alloc_bytes: u64,
+    /// Allocations performed during the cell (`0` without `track-alloc`).
+    pub allocations: u64,
+}
+
+impl BenchEntry {
+    /// Identity of the cell for cross-report matching.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/min_sup={}",
+            self.dataset, self.algo, self.min_sup_rel
+        )
+    }
+
+    fn to_json(&self) -> String {
+        let map_num = |m: &BTreeMap<String, f64>| {
+            let body: Vec<String> = m.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+            format!("{{{}}}", body.join(","))
+        };
+        let map_int = |m: &BTreeMap<String, u64>| {
+            let body: Vec<String> = m.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+            format!("{{{}}}", body.join(","))
+        };
+        format!(
+            "{{\"dataset\":\"{}\",\"algo\":\"{}\",\"min_sup_rel\":{},\
+             \"elapsed_s\":{},\"timed_out\":{},\"nodes\":{},\"nodes_per_s\":{},\
+             \"results\":{},\"phase_s\":{},\"prune\":{},\"node_latency\":{},\
+             \"peak_rss_bytes\":{},\"peak_alloc_bytes\":{},\"allocations\":{}}}",
+            self.dataset,
+            self.algo,
+            self.min_sup_rel,
+            self.elapsed_s,
+            self.timed_out,
+            self.nodes,
+            self.nodes_per_s,
+            self.results,
+            map_num(&self.phase_s),
+            map_int(&self.prune),
+            self.node_latency.to_json(),
+            self.peak_rss_bytes,
+            self.peak_alloc_bytes,
+            self.allocations,
+        )
+    }
+}
+
+/// A complete `BENCH_<label>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub version: u64,
+    /// Report label; the file name is `BENCH_<label>.json`.
+    pub label: String,
+    /// Dataset scale the matrix ran at (`tiny`/`laptop`/`paper`).
+    pub scale: String,
+    /// Unix timestamp of report creation.
+    pub created_unix: u64,
+    /// One entry per matrix cell.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// The canonical file name for this report.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.label)
+    }
+
+    /// Serialize: one top-level object, one line per entry (diff-friendly).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"version\": {},\n  \"label\": \"{}\",\n  \"scale\": \"{}\",\n  \
+             \"created_unix\": {},\n  \"entries\": [\n",
+            self.version, self.label, self.scale, self.created_unix
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&e.to_json());
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse and schema-validate a report. Every missing or mistyped
+    /// field is an error naming its path; the version must match
+    /// [`SCHEMA_VERSION`], and a valid report covers at least two
+    /// distinct algorithms (the regression gate is meaningless
+    /// otherwise).
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let root = JsonValue::parse(text)?;
+        let version = field_u64(&root, "version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let report = BenchReport {
+            version,
+            label: field_str(&root, "label")?,
+            scale: field_str(&root, "scale")?,
+            created_unix: field_u64(&root, "created_unix")?,
+            entries: root
+                .get("entries")
+                .and_then(JsonValue::as_arr)
+                .ok_or("missing array field \"entries\"")?
+                .iter()
+                .enumerate()
+                .map(|(i, v)| entry_from_json(v).map_err(|e| format!("entries[{i}]: {e}")))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        if report.entries.is_empty() {
+            return Err("report has no entries".into());
+        }
+        let algos: std::collections::BTreeSet<&str> =
+            report.entries.iter().map(|e| e.algo.as_str()).collect();
+        if algos.len() < 2 {
+            return Err(format!(
+                "report covers only {:?}; at least two algorithms are required",
+                algos
+            ));
+        }
+        Ok(report)
+    }
+}
+
+fn field_u64(v: &JsonValue, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(JsonValue::as_u64)
+        .ok_or(format!("missing integer field {name:?}"))
+}
+
+fn field_f64(v: &JsonValue, name: &str) -> Result<f64, String> {
+    v.get(name)
+        .and_then(JsonValue::as_f64)
+        .ok_or(format!("missing number field {name:?}"))
+}
+
+fn field_str(v: &JsonValue, name: &str) -> Result<String, String> {
+    v.get(name)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or(format!("missing string field {name:?}"))
+}
+
+fn field_bool(v: &JsonValue, name: &str) -> Result<bool, String> {
+    v.get(name)
+        .and_then(JsonValue::as_bool)
+        .ok_or(format!("missing bool field {name:?}"))
+}
+
+fn summary_from_json(v: &JsonValue) -> Result<HistogramSummary, String> {
+    Ok(HistogramSummary {
+        count: field_u64(v, "count")?,
+        min: field_f64(v, "min")?,
+        max: field_f64(v, "max")?,
+        mean: field_f64(v, "mean")?,
+        sum: field_f64(v, "sum")?,
+        p50: field_f64(v, "p50")?,
+        p90: field_f64(v, "p90")?,
+        p95: field_f64(v, "p95")?,
+        p99: field_f64(v, "p99")?,
+    })
+}
+
+fn entry_from_json(v: &JsonValue) -> Result<BenchEntry, String> {
+    let phase_s = v
+        .get("phase_s")
+        .and_then(JsonValue::as_obj)
+        .ok_or("missing object field \"phase_s\"")?
+        .iter()
+        .map(|(k, x)| {
+            x.as_f64()
+                .map(|x| (k.clone(), x))
+                .ok_or(format!("phase_s[{k:?}] is not a number"))
+        })
+        .collect::<Result<BTreeMap<_, _>, _>>()?;
+    let prune = v
+        .get("prune")
+        .and_then(JsonValue::as_obj)
+        .ok_or("missing object field \"prune\"")?
+        .iter()
+        .map(|(k, x)| {
+            x.as_u64()
+                .map(|x| (k.clone(), x))
+                .ok_or(format!("prune[{k:?}] is not an integer"))
+        })
+        .collect::<Result<BTreeMap<_, _>, _>>()?;
+    Ok(BenchEntry {
+        dataset: field_str(v, "dataset")?,
+        algo: field_str(v, "algo")?,
+        min_sup_rel: field_f64(v, "min_sup_rel")?,
+        elapsed_s: field_f64(v, "elapsed_s")?,
+        timed_out: field_bool(v, "timed_out")?,
+        nodes: field_u64(v, "nodes")?,
+        nodes_per_s: field_f64(v, "nodes_per_s")?,
+        results: field_u64(v, "results")?,
+        phase_s,
+        prune,
+        node_latency: summary_from_json(
+            v.get("node_latency")
+                .ok_or("missing field \"node_latency\"")?,
+        )
+        .map_err(|e| format!("node_latency: {e}"))?,
+        peak_rss_bytes: field_u64(v, "peak_rss_bytes")?,
+        peak_alloc_bytes: field_u64(v, "peak_alloc_bytes")?,
+        allocations: field_u64(v, "allocations")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Regression comparison
+// ---------------------------------------------------------------------
+
+/// One cell whose wall-clock regressed past the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Cell identity ([`BenchEntry::key`]).
+    pub key: String,
+    /// Baseline seconds.
+    pub baseline_s: f64,
+    /// Current seconds.
+    pub current_s: f64,
+    /// Slowdown in percent (`(current/baseline − 1) · 100`).
+    pub pct: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3}s -> {:.3}s (+{:.1}%)",
+            self.key, self.baseline_s, self.current_s, self.pct
+        )
+    }
+}
+
+/// Compare `current` against `baseline`: every matching cell slower by
+/// more than `threshold_pct` percent (and past the [`NOISE_FLOOR_S`]
+/// absolute floor) is a regression. Timed-out cells on either side, and
+/// cells present in only one report, are skipped.
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    threshold_pct: f64,
+) -> Vec<Regression> {
+    let base: BTreeMap<String, &BenchEntry> =
+        baseline.entries.iter().map(|e| (e.key(), e)).collect();
+    let mut out = Vec::new();
+    for cur in &current.entries {
+        let Some(b) = base.get(&cur.key()) else {
+            continue;
+        };
+        if b.timed_out || cur.timed_out {
+            continue;
+        }
+        if cur.elapsed_s <= NOISE_FLOOR_S || cur.elapsed_s - b.elapsed_s <= NOISE_FLOOR_S {
+            continue;
+        }
+        let pct = (cur.elapsed_s / b.elapsed_s - 1.0) * 100.0;
+        if pct > threshold_pct {
+            out.push(Regression {
+                key: cur.key(),
+                baseline_s: b.elapsed_s,
+                current_s: cur.elapsed_s,
+                pct,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Peak-RSS probing (Linux /proc; best-effort elsewhere)
+// ---------------------------------------------------------------------
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where `/proc` is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Ask the kernel to rebase the RSS high-water mark to the current RSS
+/// (write `5` to `/proc/self/clear_refs`). Returns whether it worked;
+/// when it doesn't, per-cell peaks degrade to a process-wide monotone
+/// high-water, which the report schema documents.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(algo: &str, elapsed_s: f64) -> BenchEntry {
+        let mut phase_s = BTreeMap::new();
+        phase_s.insert("freq_dp".to_owned(), elapsed_s / 2.0);
+        let mut prune = BTreeMap::new();
+        prune.insert("superset".to_owned(), 12);
+        let mut latency = pfcim_core::Histogram::new();
+        for v in [1e-6, 2e-6, 3e-6] {
+            latency.record(v);
+        }
+        BenchEntry {
+            dataset: "Mushroom".to_owned(),
+            algo: algo.to_owned(),
+            min_sup_rel: 0.4,
+            elapsed_s,
+            timed_out: false,
+            nodes: 100,
+            nodes_per_s: 100.0 / elapsed_s,
+            results: 7,
+            phase_s,
+            prune,
+            node_latency: latency.summary(),
+            peak_rss_bytes: 1 << 20,
+            peak_alloc_bytes: 0,
+            allocations: 0,
+        }
+    }
+
+    fn sample_report(elapsed_s: f64) -> BenchReport {
+        BenchReport {
+            version: SCHEMA_VERSION,
+            label: "test".to_owned(),
+            scale: "tiny".to_owned(),
+            created_unix: 1_754_000_000,
+            entries: vec![sample_entry("MPFCI", elapsed_s), sample_entry("Naive", 2.0)],
+        }
+    }
+
+    #[test]
+    fn parser_handles_all_value_kinds() {
+        let v =
+            JsonValue::parse(r#"{"a": [1, -2.5e3, true, false, null], "s": "x\n\"Aé"}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_bool(), Some(true));
+        assert_eq!(arr[4], JsonValue::Null);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\n\"Aé"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "tru", "\"unterminated", "{} x"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report(1.0);
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.file_name(), "BENCH_test.json");
+    }
+
+    #[test]
+    fn validation_names_the_broken_field() {
+        let mut report = sample_report(1.0);
+        report.version = 99;
+        let err = BenchReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+
+        let good = sample_report(1.0).to_json();
+        let err = BenchReport::from_json(&good.replace("\"nodes\"", "\"knots\"")).unwrap_err();
+        assert!(err.contains("entries[0]") && err.contains("nodes"), "{err}");
+
+        let err = BenchReport::from_json("{\"version\":1}").unwrap_err();
+        assert!(err.contains("label"), "{err}");
+    }
+
+    #[test]
+    fn single_algorithm_reports_are_rejected() {
+        let mut report = sample_report(1.0);
+        report.entries.truncate(1);
+        let err = BenchReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("two algorithms"), "{err}");
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let base = sample_report(1.0);
+        // 30% slower: regression at a 20% threshold, fine at 50%.
+        let slow = sample_report(1.3);
+        let regs = compare(&base, &slow, 20.0);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].key.contains("MPFCI"));
+        assert!((regs[0].pct - 30.0).abs() < 1.0);
+        assert!(compare(&base, &slow, 50.0).is_empty());
+        // Faster is never a regression.
+        assert!(compare(&base, &sample_report(0.5), 20.0).is_empty());
+    }
+
+    #[test]
+    fn compare_respects_noise_floor_and_timeouts() {
+        let mut base = sample_report(0.001);
+        let mut fast_but_double = sample_report(0.002);
+        // 100% slower but both under the noise floor: not a regression.
+        assert!(compare(&base, &fast_but_double, 20.0).is_empty());
+        // Timed-out cells never gate.
+        base = sample_report(1.0);
+        fast_but_double = sample_report(10.0);
+        for e in &mut fast_but_double.entries {
+            e.timed_out = true;
+        }
+        assert!(compare(&base, &fast_but_double, 20.0).is_empty());
+    }
+
+    #[test]
+    fn peak_rss_is_readable_on_linux() {
+        if cfg!(target_os = "linux") {
+            let peak = peak_rss_bytes().expect("VmHWM readable");
+            assert!(peak > 0);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! `bench-report` — run the dataset × algorithm benchmark matrix and
+//! emit a versioned `BENCH_<label>.json` report.
+//!
+//! ```text
+//! bench-report [--label L] [--scale tiny|laptop|paper] [--smoke]
+//!              [--budget SECONDS] [--out-dir DIR]
+//!              [--baseline OLD.json] [--fail-on-regress PCT]
+//! bench-report --compare OLD.json NEW.json [--fail-on-regress PCT]
+//! bench-report --validate FILE.json
+//! ```
+//!
+//! The default mode mines every cell of
+//! [`pfcim_bench::experiments::bench_cells`] under a
+//! [`HistogramSink`], then writes one JSON report carrying throughput
+//! (nodes/s), per-phase wall-clock totals, node-latency quantiles, the
+//! pruning mix, result counts and peak memory (RSS high-water; plus
+//! allocator counters when built with `--features track-alloc`, which
+//! installs the [`TrackingAllocator`](pfcim_core::memtrack) globally).
+//! With `--baseline`, the fresh report is compared against an archived
+//! one and the process exits nonzero when any cell slowed down by more
+//! than `--fail-on-regress` percent. `--compare` and `--validate` do
+//! the same gating/schema-checking on existing files without re-running
+//! the matrix — that is what `scripts/bench.sh` and the regression tests
+//! use.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use pfcim_bench::benchreport::{self, BenchEntry, BenchReport, SCHEMA_VERSION};
+use pfcim_bench::experiments::{bench_cells, BenchCell, DEFAULT_CELL_BUDGET};
+use pfcim_bench::report::Table;
+use pfcim_bench::{DatasetKind, Scale};
+use pfcim_core::{HistogramSink, Phase};
+
+#[cfg(feature = "track-alloc")]
+#[global_allocator]
+static ALLOC: pfcim_core::memtrack::TrackingAllocator =
+    pfcim_core::memtrack::TrackingAllocator::system();
+
+enum Mode {
+    Run(RunArgs),
+    Compare {
+        baseline: PathBuf,
+        current: PathBuf,
+        fail_pct: f64,
+    },
+    Validate(PathBuf),
+}
+
+struct RunArgs {
+    label: String,
+    scale: Scale,
+    smoke: bool,
+    budget: Duration,
+    out_dir: PathBuf,
+    baseline: Option<PathBuf>,
+    fail_pct: f64,
+}
+
+const USAGE: &str = "usage: bench-report [--label L] [--scale tiny|laptop|paper] [--smoke]\n\
+       \x20            [--budget SECONDS] [--out-dir DIR]\n\
+       \x20            [--baseline OLD.json] [--fail-on-regress PCT]\n\
+       bench-report --compare OLD.json NEW.json [--fail-on-regress PCT]\n\
+       bench-report --validate FILE.json";
+
+fn parse_args() -> Result<Mode, String> {
+    let mut label = "local".to_owned();
+    let mut scale = None;
+    let mut smoke = false;
+    let mut budget = DEFAULT_CELL_BUDGET;
+    let mut out_dir = PathBuf::from(".");
+    let mut baseline = None;
+    let mut fail_pct: Option<f64> = None;
+    let mut compare = None;
+    let mut validate = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            argv.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--label" => {
+                label = value("--label")?;
+                if label.is_empty()
+                    || !label
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                {
+                    return Err(format!("bad label {label:?} (use [A-Za-z0-9._-])"));
+                }
+            }
+            "--scale" => {
+                let v = value("--scale")?;
+                scale = Some(Scale::parse(&v).ok_or(format!("unknown scale {v:?}"))?);
+            }
+            "--smoke" => smoke = true,
+            "--budget" => {
+                let v = value("--budget")?;
+                let s: u64 = v.parse().map_err(|_| format!("bad budget {v:?}"))?;
+                budget = Duration::from_secs(s);
+            }
+            "--out-dir" => out_dir = PathBuf::from(value("--out-dir")?),
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--fail-on-regress" => {
+                let v = value("--fail-on-regress")?;
+                fail_pct = Some(v.parse().map_err(|_| format!("bad percentage {v:?}"))?);
+            }
+            "--compare" => {
+                let old = PathBuf::from(value("--compare")?);
+                let new = PathBuf::from(value("--compare")?);
+                compare = Some((old, new));
+            }
+            "--validate" => validate = Some(PathBuf::from(value("--validate")?)),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if let Some(path) = validate {
+        return Ok(Mode::Validate(path));
+    }
+    if let Some((old, new)) = compare {
+        return Ok(Mode::Compare {
+            baseline: old,
+            current: new,
+            fail_pct: fail_pct.unwrap_or(20.0),
+        });
+    }
+    Ok(Mode::Run(RunArgs {
+        label,
+        // Smoke runs default to the tiny datasets; full runs to laptop.
+        scale: scale.unwrap_or(if smoke { Scale::Tiny } else { Scale::Laptop }),
+        smoke,
+        budget,
+        out_dir,
+        baseline,
+        fail_pct: fail_pct.unwrap_or(20.0),
+    }))
+}
+
+fn load_report(path: &PathBuf) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Compare and report; true when the gate passes.
+fn gate(baseline: &BenchReport, current: &BenchReport, fail_pct: f64) -> bool {
+    let regressions = benchreport::compare(baseline, current, fail_pct);
+    if regressions.is_empty() {
+        println!(
+            "regression gate: {} vs {} — no cell slower by more than {fail_pct}%",
+            current.label, baseline.label
+        );
+        true
+    } else {
+        eprintln!(
+            "regression gate FAILED ({} vs {}, threshold {fail_pct}%):",
+            current.label, baseline.label
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        false
+    }
+}
+
+fn run_cell(cell: &BenchCell, db: &utdb::UncertainDatabase, budget: Duration) -> BenchEntry {
+    // Rebase both memory high-water marks so the cell reports its own
+    // peak (best-effort for RSS; see `benchreport::reset_peak_rss`).
+    benchreport::reset_peak_rss();
+    #[cfg(feature = "track-alloc")]
+    let alloc_before = {
+        pfcim_core::memtrack::reset_peak();
+        pfcim_core::memtrack::stats()
+    };
+
+    let min_sup = pfcim_bench::datasets::abs_min_sup(db, cell.min_sup_rel);
+    let cfg = cell.algo.config(min_sup).with_time_budget(budget);
+    let mut sink = HistogramSink::new();
+    let outcome = cell.algo.run(db, &cfg, &mut sink);
+
+    #[cfg(feature = "track-alloc")]
+    let (peak_alloc_bytes, allocations) = {
+        let now = pfcim_core::memtrack::stats();
+        (
+            now.peak_bytes as u64,
+            now.total_allocations - alloc_before.total_allocations,
+        )
+    };
+    #[cfg(not(feature = "track-alloc"))]
+    let (peak_alloc_bytes, allocations) = (0u64, 0u64);
+
+    let elapsed_s = outcome.elapsed.as_secs_f64();
+    let stats = &outcome.stats;
+    BenchEntry {
+        dataset: cell.dataset.name().to_owned(),
+        algo: cell.algo.name().to_owned(),
+        min_sup_rel: cell.min_sup_rel,
+        elapsed_s,
+        timed_out: outcome.timed_out,
+        nodes: stats.nodes_visited,
+        nodes_per_s: if elapsed_s > 0.0 {
+            stats.nodes_visited as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        results: outcome.results.len() as u64,
+        phase_s: Phase::ALL
+            .iter()
+            .map(|p| (p.name().to_owned(), outcome.timers.total(*p).as_secs_f64()))
+            .collect(),
+        prune: [
+            ("superset", stats.superset_pruned),
+            ("subset", stats.subset_pruned),
+            ("chernoff_hoeffding", stats.ch_pruned),
+            ("infrequent", stats.freq_pruned),
+            ("bound_rejected", stats.bound_rejected),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect(),
+        node_latency: sink.node_latency().summary(),
+        peak_rss_bytes: benchreport::peak_rss_bytes().unwrap_or(0),
+        peak_alloc_bytes,
+        allocations,
+    }
+}
+
+fn run_matrix(args: &RunArgs) -> Result<BenchReport, String> {
+    let scale_name = match args.scale {
+        Scale::Tiny => "tiny",
+        Scale::Laptop => "laptop",
+        Scale::Paper => "paper",
+    };
+    println!(
+        "# bench-report — label={}, scale={scale_name}, smoke={}, per-cell budget={}s{}",
+        args.label,
+        args.smoke,
+        args.budget.as_secs(),
+        if cfg!(feature = "track-alloc") {
+            ", allocator tracking on"
+        } else {
+            ""
+        },
+    );
+    let cells = bench_cells(args.smoke);
+    let mut entries = Vec::with_capacity(cells.len());
+    let mut table = Table::new(
+        "bench matrix",
+        &[
+            "dataset", "algo", "min_sup", "time_s", "nodes/s", "results", "peak_rss",
+        ],
+    );
+    for dataset in DatasetKind::ALL {
+        let db = dataset.uncertain(args.scale, 42);
+        for cell in cells.iter().filter(|c| c.dataset == dataset) {
+            let entry = run_cell(cell, &db, args.budget);
+            table.push_row(vec![
+                entry.dataset.clone(),
+                entry.algo.clone(),
+                format!("{}", entry.min_sup_rel),
+                if entry.timed_out {
+                    ">budget".to_owned()
+                } else {
+                    format!("{:.3}", entry.elapsed_s)
+                },
+                format!("{:.0}", entry.nodes_per_s),
+                entry.results.to_string(),
+                format!("{}M", entry.peak_rss_bytes / (1 << 20)),
+            ]);
+            entries.push(entry);
+        }
+    }
+    println!("\n{}", table.to_text());
+    Ok(BenchReport {
+        version: SCHEMA_VERSION,
+        label: args.label.clone(),
+        scale: scale_name.to_owned(),
+        created_unix: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_err(|e| e.to_string())?
+            .as_secs(),
+        entries,
+    })
+}
+
+fn main() -> ExitCode {
+    let mode = match parse_args() {
+        Ok(m) => m,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result: Result<bool, String> = match mode {
+        Mode::Validate(path) => load_report(&path).map(|report| {
+            println!(
+                "{}: valid v{} report ({} entries, scale {})",
+                path.display(),
+                report.version,
+                report.entries.len(),
+                report.scale
+            );
+            true
+        }),
+        Mode::Compare {
+            baseline,
+            current,
+            fail_pct,
+        } => load_report(&baseline)
+            .and_then(|base| load_report(&current).map(|cur| (base, cur)))
+            .map(|(base, cur)| gate(&base, &cur, fail_pct)),
+        Mode::Run(args) => run_matrix(&args).and_then(|report| {
+            let path = args.out_dir.join(report.file_name());
+            std::fs::create_dir_all(&args.out_dir)
+                .and_then(|()| std::fs::write(&path, report.to_json()))
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("report written to {}", path.display());
+            match &args.baseline {
+                Some(base) => Ok(gate(&load_report(base)?, &report, args.fail_pct)),
+                None => Ok(true),
+            }
+        }),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,7 +15,7 @@ use std::path::{Path, PathBuf};
 use pfcim_core::trace::parse_jsonl;
 use pfcim_core::{
     mine_naive_with, mine_with, CountingSink, JsonlSink, MinerConfig, MinerStats, MiningOutcome,
-    NullSink, PhaseTimers, ProgressSink, Tee,
+    PhaseTimers, ProgressSink, Tee,
 };
 use utdb::UncertainDatabase;
 
@@ -59,27 +59,28 @@ impl Observe {
         self.trace.is_some() || self.progress.is_some()
     }
 
+    /// The composed sink over whatever observers are attached.
+    /// `Option<S>` sinks forward when `Some` and discard when `None`, so
+    /// one expression covers all attachment combinations — with nothing
+    /// attached, `is_enabled()` is false and the miners skip callbacks.
+    fn sink(&mut self) -> Tee<Option<&mut JsonlSink<BufWriter<File>>>, Option<&mut ProgressSink>> {
+        Tee(
+            self.trace.as_mut().map(|(_, sink)| sink),
+            self.progress.as_mut(),
+        )
+    }
+
     /// Run the configured miner (DFS/BFS per `cfg.search`) under the
     /// attached observers.
     pub fn run(&mut self, db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
-        let outcome = match (&mut self.trace, &mut self.progress) {
-            (Some((_, t)), Some(p)) => mine_with(db, cfg, &mut Tee(t, p)),
-            (Some((_, t)), None) => mine_with(db, cfg, t),
-            (None, Some(p)) => mine_with(db, cfg, p),
-            (None, None) => mine_with(db, cfg, &mut NullSink),
-        };
+        let outcome = mine_with(db, cfg, &mut self.sink());
         self.absorb(&outcome);
         outcome
     }
 
     /// Run the Naive baseline under the attached observers.
     pub fn run_naive(&mut self, db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
-        let outcome = match (&mut self.trace, &mut self.progress) {
-            (Some((_, t)), Some(p)) => mine_naive_with(db, cfg, &mut Tee(t, p)),
-            (Some((_, t)), None) => mine_naive_with(db, cfg, t),
-            (None, Some(p)) => mine_naive_with(db, cfg, p),
-            (None, None) => mine_naive_with(db, cfg, &mut NullSink),
-        };
+        let outcome = mine_naive_with(db, cfg, &mut self.sink());
         self.absorb(&outcome);
         outcome
     }
@@ -100,8 +101,15 @@ impl Observe {
         let Some((path, sink)) = self.trace.take() else {
             return Ok(None);
         };
-        sink.finish()
-            .map_err(|e| format!("flushing {}: {e}", path.display()))?;
+        // A mid-run write failure is latched inside the sink and
+        // surfaces here; the event count says how much trace survived.
+        let written = sink.lines_written();
+        sink.finish().map_err(|e| {
+            format!(
+                "trace {} failed after {written} events: {e}",
+                path.display()
+            )
+        })?;
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("re-reading {}: {e}", path.display()))?;
         let events = parse_jsonl(&text).map_err(|e| e.to_string())?;

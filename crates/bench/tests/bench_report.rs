@@ -1,0 +1,138 @@
+//! End-to-end tests of the `bench-report` binary: schema validation of
+//! the committed seed report, regression gating with an injected
+//! slowdown, and a budgeted smoke run of the real matrix.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pfcim_bench::benchreport::{BenchReport, SCHEMA_VERSION};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench-report"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pfcim_bench_report_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A minimal two-algorithm report whose cells all take `elapsed_s`.
+fn synthetic_report(label: &str, elapsed_s: f64) -> String {
+    let entry = |algo: &str| {
+        format!(
+            "{{\"dataset\":\"Mushroom\",\"algo\":\"{algo}\",\"min_sup_rel\":0.4,\
+             \"elapsed_s\":{elapsed_s},\"timed_out\":false,\"nodes\":1000,\
+             \"nodes_per_s\":1000.0,\"results\":5,\"phase_s\":{{\"freq_dp\":{elapsed_s}}},\
+             \"prune\":{{\"superset\":3}},\
+             \"node_latency\":{{\"count\":999,\"min\":0.000001,\"max\":0.01,\"mean\":0.001,\
+             \"sum\":0.999,\"p50\":0.0008,\"p90\":0.002,\"p95\":0.004,\"p99\":0.009}},\
+             \"peak_rss_bytes\":1048576,\"peak_alloc_bytes\":0,\"allocations\":0}}"
+        )
+    };
+    format!(
+        "{{\"version\":{SCHEMA_VERSION},\"label\":\"{label}\",\"scale\":\"tiny\",\
+         \"created_unix\":1754000000,\"entries\":[{},{}]}}",
+        entry("MPFCI"),
+        entry("Naive")
+    )
+}
+
+#[test]
+fn compare_fails_on_injected_regression() {
+    let dir = temp_dir("compare");
+    let base = dir.join("BENCH_base.json");
+    let slow = dir.join("BENCH_slow.json");
+    // Inject a 30% slowdown into every cell of the "current" report.
+    std::fs::write(&base, synthetic_report("base", 1.0)).unwrap();
+    std::fs::write(&slow, synthetic_report("slow", 1.3)).unwrap();
+
+    let out = bin()
+        .args(["--compare"])
+        .arg(&base)
+        .arg(&slow)
+        .args(["--fail-on-regress", "20"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("regression gate FAILED"), "{stderr}");
+    assert!(
+        stderr.contains("MPFCI") && stderr.contains("+30"),
+        "{stderr}"
+    );
+
+    // The same pair passes a 50% threshold, and an unchanged pair any.
+    for (current, pct) in [(&slow, "50"), (&base, "20")] {
+        let out = bin()
+            .args(["--compare"])
+            .arg(&base)
+            .arg(current)
+            .args(["--fail-on-regress", pct])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{out:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn validate_accepts_good_and_rejects_broken_reports() {
+    let dir = temp_dir("validate");
+    let good = dir.join("BENCH_good.json");
+    std::fs::write(&good, synthetic_report("good", 0.5)).unwrap();
+    let out = bin().arg("--validate").arg(&good).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    let broken = dir.join("BENCH_broken.json");
+    std::fs::write(
+        &broken,
+        synthetic_report("broken", 0.5).replace("\"nodes\"", "\"gnodes\""),
+    )
+    .unwrap();
+    let out = bin().arg("--validate").arg(&broken).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("nodes"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seed_report_in_the_repository_is_valid() {
+    let seed = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_seed.json");
+    let text = std::fs::read_to_string(&seed).expect("BENCH_seed.json is committed at repo root");
+    let report = BenchReport::from_json(&text).expect("seed report matches the schema");
+    assert_eq!(report.label, "seed");
+    let out = bin().arg("--validate").arg(&seed).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn smoke_run_emits_a_valid_multi_algorithm_report() {
+    let dir = temp_dir("smoke");
+    // Tight per-cell budget: slow cells are cut off and marked
+    // timed_out, which the schema and comparator both accept.
+    let out = bin()
+        .args(["--smoke", "--label", "itest", "--budget", "2", "--out-dir"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let path = dir.join("BENCH_itest.json");
+    let report = BenchReport::from_json(&std::fs::read_to_string(&path).unwrap())
+        .expect("emitted report validates");
+    let algos: std::collections::BTreeSet<&str> =
+        report.entries.iter().map(|e| e.algo.as_str()).collect();
+    assert!(algos.len() >= 2, "matrix covers {algos:?}");
+    assert!(report.entries.iter().any(|e| e.nodes > 0));
+    // Cells that finished report coherent throughput and phase totals.
+    for e in report.entries.iter().filter(|e| !e.timed_out) {
+        assert!(e.elapsed_s >= 0.0);
+        if e.elapsed_s > 0.0 {
+            let expected = e.nodes as f64 / e.elapsed_s;
+            assert!((e.nodes_per_s - expected).abs() <= expected * 1e-6 + 1e-6);
+        }
+        assert!(e.phase_s.values().all(|&s| s >= 0.0));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

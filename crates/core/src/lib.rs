@@ -27,7 +27,12 @@
 //! of the paper's Section V. The [`trace`] module adds pluggable
 //! observability: every miner has a `*_with` variant taking a
 //! [`MinerSink`] that receives node/pruning/evaluation events, JSONL run
-//! traces and per-phase wall-clock timings.
+//! traces and per-phase wall-clock timings. The [`metrics`] module turns
+//! that event stream into quantitative distributions — log-bucketed
+//! latency/size [`Histogram`]s in a mergeable, JSON-exportable
+//! [`MetricsRegistry`] — and (behind the `track-alloc` feature)
+//! [`memtrack`] adds global allocation accounting for peak-memory
+//! reporting.
 //!
 //! # Quick start
 //!
@@ -57,6 +62,9 @@ pub mod events;
 pub mod exact;
 pub mod fcp;
 pub mod hardness;
+#[cfg(feature = "track-alloc")]
+pub mod memtrack;
+pub mod metrics;
 pub mod mpfci;
 pub mod naive;
 pub mod result;
@@ -68,6 +76,7 @@ pub use config::{FcpMethod, MinerConfig, PruningConfig, SearchStrategy, Variant}
 pub use events::NonClosureEvents;
 pub use exact::{exact_fcp_by_worlds, exact_fcp_inclusion_exclusion, exact_pfci_set};
 pub use fcp::{approx_fcp, approx_fcp_adaptive, approx_fcp_adaptive_traced, approx_fcp_traced};
+pub use metrics::{Histogram, HistogramSink, HistogramSummary, MetricsRegistry};
 pub use mpfci::{mine, mine_dfs, mine_dfs_with, mine_with};
 pub use naive::{mine_naive, mine_naive_with};
 pub use result::{MiningOutcome, Pfci};

@@ -1,0 +1,799 @@
+//! Dependency-free runtime metrics: counters, gauges, log-bucketed
+//! histograms, a mergeable [`MetricsRegistry`] with JSON snapshot export,
+//! and the [`HistogramSink`] adapter that turns the [`crate::trace`]
+//! event stream into latency/size distributions.
+//!
+//! The paper's evaluation (and the survey literature on uncertain FIM)
+//! compares algorithms on wall-clock *and* memory; averages alone hide
+//! the tails that dominate those comparisons. This module makes the
+//! tails first-class:
+//!
+//! * [`Histogram`] — a log-bucketed histogram over non-negative `f64`
+//!   values (seconds, sample counts, probabilities). Buckets grow
+//!   geometrically by `2^(1/8)` per bucket, so any reported quantile is
+//!   within a relative factor of `2^(1/8) ≈ 1.09` of the exact
+//!   sorted-sample quantile (the property tests assert this bound).
+//!   Histograms merge exactly (bucket-wise addition), so per-run
+//!   distributions aggregate across sweeps without storing samples.
+//! * [`MetricsRegistry`] — named counters, gauges and histograms with a
+//!   deterministic JSON snapshot ([`MetricsRegistry::to_json`]).
+//! * [`HistogramSink`] — a [`MinerSink`] recording per-node latency,
+//!   per-phase evaluation cost, `ApproxFCP` samples per call and FCP
+//!   bound widths as distributions; composable with
+//!   [`crate::trace::Tee`] so it stacks with the JSONL/progress sinks.
+//!
+//! Nothing here touches the miners: when no sink is attached the usual
+//! [`crate::trace::NullSink`] monomorphization applies and the metrics
+//! layer costs nothing (the observability tests assert no perturbation).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use utdb::Item;
+
+use crate::config::MinerConfig;
+use crate::result::MiningOutcome;
+use crate::stats::MinerStats;
+use crate::trace::{CountingSink, FcpEvalKind, MinerSink, Phase, PruneKind};
+
+/// Sub-buckets per power of two: bucket boundaries grow by `2^(1/8)`.
+const SUB_BUCKETS: i64 = 8;
+/// Smallest tracked positive value is `2^MIN_EXP` (≈ 0.93 ns as seconds).
+const MIN_EXP: i64 = -30;
+/// Largest bucket boundary is `2^MAX_EXP` (≈ 1.7e10); larger values clamp
+/// into the final bucket (their exact `max` is still tracked).
+const MAX_EXP: i64 = 34;
+/// Total bucket count.
+const NUM_BUCKETS: usize = ((MAX_EXP - MIN_EXP) * SUB_BUCKETS) as usize;
+
+/// The worst-case multiplicative error of a [`Histogram`] quantile
+/// against the exact sorted-sample quantile, for values inside the
+/// tracked range: one full bucket width, `2^(1/8)`.
+pub const QUANTILE_RELATIVE_ERROR: f64 = 1.090_507_732_665_257_7; // 2^(1/8)
+
+/// A mergeable log-bucketed histogram over non-negative `f64` values.
+///
+/// Records exact `count`/`sum`/`min`/`max`; quantiles come from
+/// geometric buckets (`2^(1/8)` growth), so [`Histogram::quantile`] is
+/// within a factor [`QUANTILE_RELATIVE_ERROR`] of the exact quantile.
+/// Values `≤ 0` land in a dedicated zero bucket; non-finite values are
+/// ignored. Values outside `[2^-30, 2^34]` clamp to the end buckets.
+#[derive(Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    zero: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new([0; NUM_BUCKETS]),
+            zero: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        debug_assert!(value > 0.0);
+        let pos = (value.log2() - MIN_EXP as f64) * SUB_BUCKETS as f64;
+        (pos.floor() as i64).clamp(0, NUM_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Geometric midpoint of bucket `i` — the value quantiles report.
+    fn bucket_value(i: usize) -> f64 {
+        2f64.powf(MIN_EXP as f64 + (i as f64 + 0.5) / SUB_BUCKETS as f64)
+    }
+
+    /// Record one value. Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value <= 0.0 {
+            self.zero += 1;
+        } else {
+            self.buckets[Self::bucket_index(value)] += 1;
+        }
+    }
+
+    /// Record a [`Duration`] in seconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value (`0.0` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`, nearest-rank on the bucketed
+    /// distribution), within a factor [`QUANTILE_RELATIVE_ERROR`] of the
+    /// exact sorted-sample quantile. Returns `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        if rank < self.zero {
+            return 0.0;
+        }
+        let mut cumulative = self.zero;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative > rank {
+                // The exact value at this rank lies in this bucket, so
+                // clamping the representative to the observed range can
+                // only improve the estimate.
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one (exact: bucket-wise sums).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Snapshot the standard summary statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            sum: self.sum,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.summary().fmt(f)
+    }
+}
+
+/// The fixed summary statistics of one [`Histogram`] — what JSON
+/// snapshots and `BENCH_*.json` reports carry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Exact sum.
+    pub sum: f64,
+    /// Median (bucketed).
+    pub p50: f64,
+    /// 90th percentile (bucketed).
+    pub p90: f64,
+    /// 95th percentile (bucketed).
+    pub p95: f64,
+    /// 99th percentile (bucketed).
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Serialize as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"sum\":{},\
+             \"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
+            self.count,
+            json_f64(self.min),
+            json_f64(self.max),
+            json_f64(self.mean),
+            json_f64(self.sum),
+            json_f64(self.p50),
+            json_f64(self.p90),
+            json_f64(self.p95),
+            json_f64(self.p99),
+        )
+    }
+}
+
+impl fmt::Display for HistogramSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "count={} min={:.3e} p50={:.3e} p90={:.3e} p95={:.3e} p99={:.3e} max={:.3e} mean={:.3e}",
+            self.count, self.min, self.p50, self.p90, self.p95, self.p99, self.max, self.mean
+        )
+    }
+}
+
+/// Render an `f64` as a JSON number (non-finite values become `0`, which
+/// never occurs for values produced by [`Histogram`]).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Minimal JSON string escaping for metric names (which are
+/// code-controlled, but defensively escaped anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A named, mergeable collection of counters, gauges and histograms with
+/// a deterministic (sorted-key) JSON snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// The histogram `name`, created empty on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Current value of counter `name`, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current value of gauge `name`, if it exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram `name`, if it exists.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate the counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterate the gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterate the histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another registry into this one: counters add, gauges take
+    /// the other's value (last write wins), histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &v) in &other.counters {
+            self.add(name, v);
+        }
+        for (name, &v) in &other.gauges {
+            self.set_gauge(name, v);
+        }
+        for (name, h) in &other.histograms {
+            self.histogram(name).merge(h);
+        }
+    }
+
+    /// Serialize the whole registry as one JSON object:
+    ///
+    /// ```json
+    /// {"counters":{"nodes_visited":42},
+    ///  "gauges":{"elapsed_s":0.5},
+    ///  "histograms":{"node_latency_s":{"count":41,"min":...,"p99":...}}}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        first = true;
+        for (name, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", json_escape(name), json_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", json_escape(name), h.summary().to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A [`MinerSink`] recording cost distributions of a mining run:
+///
+/// | histogram | source |
+/// |---|---|
+/// | `node_latency_s` | wall-clock between consecutive `node_entered` events |
+/// | `node_depth` | itemset size at each enumeration node |
+/// | `phase_<name>_s` | per-call duration of each [`Phase`] (`phase_end`) |
+/// | `approx_fcp_samples` | samples drawn per sampled FCP evaluation |
+/// | `fcp_bound_width` | `upper − lower` of each Lemma 4.4 bound pair |
+/// | `freq_prob` | the exact `Pr_F` values the DP returned |
+///
+/// It also embeds a [`CountingSink`], so the counter side of the
+/// snapshot reconciles exactly with the run's [`MinerStats`]. Compose it
+/// with other sinks via [`crate::trace::Tee`]; extract the result with
+/// [`HistogramSink::snapshot`] (or the accessors) after the run.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSink {
+    /// Event counters re-derived from the stream, [`CountingSink`]-style.
+    pub counts: CountingSink,
+    last_node: Option<Instant>,
+    node_latency: Histogram,
+    node_depth: Histogram,
+    phase: [Histogram; Phase::COUNT],
+    approx_fcp_samples: Histogram,
+    fcp_bound_width: Histogram,
+    freq_prob: Histogram,
+    elapsed: Duration,
+    runs: u64,
+}
+
+impl HistogramSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distribution of wall-clock gaps between consecutive enumeration
+    /// nodes (seconds).
+    pub fn node_latency(&self) -> &Histogram {
+        &self.node_latency
+    }
+
+    /// Distribution of per-call durations of `phase` (seconds).
+    pub fn phase_latency(&self, phase: Phase) -> &Histogram {
+        &self.phase[phase.index()]
+    }
+
+    /// Distribution of Monte-Carlo samples drawn per `ApproxFCP` call.
+    pub fn approx_fcp_samples(&self) -> &Histogram {
+        &self.approx_fcp_samples
+    }
+
+    /// Distribution of FCP bound widths (`upper − lower`, Lemma 4.4).
+    pub fn fcp_bound_width(&self) -> &Histogram {
+        &self.fcp_bound_width
+    }
+
+    /// Total wall-clock time of the observed runs.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Number of completed runs observed.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Export everything as a [`MetricsRegistry`]: the counter side
+    /// mirrors [`MinerStats`] field-for-field, the histogram side carries
+    /// the distributions listed in the type docs.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let s: &MinerStats = &self.counts.stats;
+        for (name, v) in [
+            ("nodes_visited", s.nodes_visited),
+            ("superset_pruned", s.superset_pruned),
+            ("subset_pruned", s.subset_pruned),
+            ("ch_pruned", s.ch_pruned),
+            ("freq_pruned", s.freq_pruned),
+            ("bound_rejected", s.bound_rejected),
+            ("bound_decided", s.bound_decided),
+            ("fcp_exact", s.fcp_exact),
+            ("fcp_sampled", s.fcp_sampled),
+            ("samples_drawn", s.samples_drawn),
+            ("freq_prob_evals", s.freq_prob_evals),
+            ("results", self.counts.results_emitted),
+            ("runs", self.runs),
+        ] {
+            reg.add(name, v);
+        }
+        reg.set_gauge("elapsed_s", self.elapsed.as_secs_f64());
+        let mut put = |name: &str, h: &Histogram| {
+            if !h.is_empty() {
+                reg.histogram(name).merge(h);
+            }
+        };
+        put("node_latency_s", &self.node_latency);
+        put("node_depth", &self.node_depth);
+        for p in Phase::ALL {
+            put(&format!("phase_{}_s", p.name()), &self.phase[p.index()]);
+        }
+        put("approx_fcp_samples", &self.approx_fcp_samples);
+        put("fcp_bound_width", &self.fcp_bound_width);
+        put("freq_prob", &self.freq_prob);
+        reg
+    }
+}
+
+impl MinerSink for HistogramSink {
+    fn run_started(&mut self, _algo: &str, _config: &MinerConfig) {
+        // Gaps across run boundaries are not node latencies.
+        self.last_node = None;
+    }
+    fn node_entered(&mut self, depth: usize) {
+        self.counts.node_entered(depth);
+        self.node_depth.record(depth as f64);
+        let now = Instant::now();
+        if let Some(prev) = self.last_node.replace(now) {
+            self.node_latency.record_duration(now.duration_since(prev));
+        }
+    }
+    fn prune_fired(&mut self, kind: PruneKind) {
+        self.counts.prune_fired(kind);
+    }
+    fn freq_prob_evaluated(&mut self, pr_f: f64) {
+        self.counts.freq_prob_evaluated(pr_f);
+        self.freq_prob.record(pr_f);
+    }
+    fn fcp_bounds(&mut self, lower: f64, upper: f64) {
+        self.fcp_bound_width.record((upper - lower).max(0.0));
+    }
+    fn fcp_evaluated(&mut self, method: FcpEvalKind, samples: u64) {
+        self.counts.fcp_evaluated(method, samples);
+        if method == FcpEvalKind::Sampled {
+            self.approx_fcp_samples.record(samples as f64);
+        }
+    }
+    fn result_emitted(&mut self, items: &[Item], fcp: f64) {
+        self.counts.result_emitted(items, fcp);
+    }
+    fn phase_end(&mut self, phase: Phase, elapsed: Duration) {
+        self.counts.phase_end(phase, elapsed);
+        self.phase[phase.index()].record_duration(elapsed);
+    }
+    fn run_finished(&mut self, outcome: &MiningOutcome) {
+        self.elapsed += outcome.elapsed;
+        self.runs += 1;
+        self.last_node = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn filled(values: &[f64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    /// The rank rule [`Histogram::quantile`] uses, applied to the exact
+    /// sorted samples.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert!(s.to_json().contains("\"count\":0"));
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let h = filled(&[1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 8.0);
+        assert_eq!(h.sum(), 15.0);
+        assert_eq!(h.mean(), 3.75);
+    }
+
+    #[test]
+    fn zero_and_nonfinite_values() {
+        let mut h = filled(&[0.0, 0.0, 5.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 5.0);
+    }
+
+    #[test]
+    fn quantiles_of_identical_values_hit_the_value() {
+        let h = filled(&[0.125; 100]);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!(
+                (est / 0.125 - 1.0).abs() < QUANTILE_RELATIVE_ERROR - 1.0 + 1e-9,
+                "q={q}: {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_but_track_extremes() {
+        let h = filled(&[1e-12, 1e12]);
+        assert_eq!(h.min(), 1e-12);
+        assert_eq!(h.max(), 1e12);
+        // Quantiles clamp to the end buckets but never exceed min/max.
+        assert!(h.quantile(0.0) >= 1e-12);
+        assert!(h.quantile(1.0) <= 1e12);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        // Dyadic values: float sums are exact regardless of merge order.
+        let a_vals = [0.125, 0.5, 3.0, 42.0];
+        let b_vals = [0.25, 0.25, 7.0];
+        let mut merged = filled(&a_vals);
+        merged.merge(&filled(&b_vals));
+        let mut all: Vec<f64> = a_vals.iter().chain(&b_vals).copied().collect();
+        let combined = filled(&all);
+        assert_eq!(merged, combined);
+        all.sort_by(f64::total_cmp);
+        for q in [0.1, 0.5, 0.9] {
+            assert_eq!(merged.quantile(q), combined.quantile(q));
+        }
+    }
+
+    #[test]
+    fn registry_basics_and_json_shape() {
+        let mut reg = MetricsRegistry::new();
+        assert!(reg.is_empty());
+        reg.add("nodes", 2);
+        reg.add("nodes", 3);
+        reg.set_gauge("elapsed_s", 1.5);
+        reg.histogram("lat_s").record(0.25);
+        assert_eq!(reg.counter("nodes"), Some(5));
+        assert_eq!(reg.gauge("elapsed_s"), Some(1.5));
+        assert_eq!(reg.get_histogram("lat_s").unwrap().count(), 1);
+        let json = reg.to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"nodes\":5"));
+        assert!(json.contains("\"elapsed_s\":1.5"));
+        assert!(json.contains("\"lat_s\":{\"count\":1"));
+    }
+
+    #[test]
+    fn registry_merge_semantics() {
+        let mut a = MetricsRegistry::new();
+        a.add("n", 1);
+        a.set_gauge("g", 1.0);
+        a.histogram("h").record(1.0);
+        let mut b = MetricsRegistry::new();
+        b.add("n", 2);
+        b.add("m", 7);
+        b.set_gauge("g", 9.0);
+        b.histogram("h").record(4.0);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), Some(3));
+        assert_eq!(a.counter("m"), Some(7));
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.get_histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("plain_name"), "plain_name");
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn histogram_sink_snapshot_mirrors_counting_sink() {
+        let mut sink = HistogramSink::new();
+        sink.node_entered(1);
+        sink.node_entered(2);
+        sink.prune_fired(PruneKind::Superset);
+        sink.freq_prob_evaluated(0.75);
+        sink.fcp_bounds(0.5, 0.9);
+        sink.fcp_evaluated(FcpEvalKind::Sampled, 1234);
+        sink.phase_end(Phase::FreqDp, Duration::from_micros(10));
+        let reg = sink.snapshot();
+        assert_eq!(reg.counter("nodes_visited"), Some(2));
+        assert_eq!(reg.counter("superset_pruned"), Some(1));
+        assert_eq!(reg.counter("freq_prob_evals"), Some(1));
+        assert_eq!(reg.counter("samples_drawn"), Some(1234));
+        assert_eq!(reg.get_histogram("node_latency_s").unwrap().count(), 1);
+        assert_eq!(reg.get_histogram("node_depth").unwrap().count(), 2);
+        assert_eq!(reg.get_histogram("phase_freq_dp_s").unwrap().count(), 1);
+        assert_eq!(reg.get_histogram("approx_fcp_samples").unwrap().count(), 1);
+        let width = reg.get_histogram("fcp_bound_width").unwrap();
+        assert!((width.max() - 0.4).abs() < 1e-12);
+        // Empty distributions are omitted from the snapshot.
+        assert!(reg.get_histogram("phase_fcp_exact_s").is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Bucketed quantiles stay within the documented relative error
+        /// of the exact sorted-sample quantile, for in-range values.
+        #[test]
+        fn quantiles_track_exact_samples(
+            values in proptest::collection::vec(1e-6f64..1e6, 1..200),
+            q in 0.0f64..=1.0,
+        ) {
+            let h = filled(&values);
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            let ratio = est / exact;
+            prop_assert!(
+                (1.0 / QUANTILE_RELATIVE_ERROR * (1.0 - 1e-9)
+                    ..=QUANTILE_RELATIVE_ERROR * (1.0 + 1e-9))
+                    .contains(&ratio),
+                "q={} exact={} est={} ratio={}", q, exact, est, ratio
+            );
+        }
+
+        /// Histogram merge is associative and commutative (bucket counts
+        /// are exact; sums may differ only by float rounding).
+        #[test]
+        fn merge_is_associative(
+            a in proptest::collection::vec(1e-6f64..1e6, 0..40),
+            b in proptest::collection::vec(1e-6f64..1e6, 0..40),
+            c in proptest::collection::vec(1e-6f64..1e6, 0..40),
+        ) {
+            let (ha, hb, hc) = (filled(&a), filled(&b), filled(&c));
+            // (a ∪ b) ∪ c
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            // a ∪ (b ∪ c)
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left.count(), right.count());
+            prop_assert_eq!(left.min(), right.min());
+            prop_assert_eq!(left.max(), right.max());
+            prop_assert!((left.sum() - right.sum()).abs() <= left.sum().abs() * 1e-12 + 1e-12);
+            for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(left.quantile(q), right.quantile(q));
+            }
+        }
+    }
+}

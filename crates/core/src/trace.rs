@@ -292,6 +292,66 @@ macro_rules! forward_sink {
 forward_sink!(&mut S);
 forward_sink!(Box<S>);
 
+/// `Option<S>` is a sink that forwards when `Some` and discards when
+/// `None` — the natural shape for optionally-attached observers
+/// (`--trace`, `--progress`, `--metrics` flags) without a combinatorial
+/// dispatch over which ones are present.
+impl<S: MinerSink> MinerSink for Option<S> {
+    fn is_enabled(&self) -> bool {
+        self.as_ref().is_some_and(MinerSink::is_enabled)
+    }
+    fn run_started(&mut self, algo: &str, config: &MinerConfig) {
+        if let Some(s) = self {
+            s.run_started(algo, config);
+        }
+    }
+    fn node_entered(&mut self, depth: usize) {
+        if let Some(s) = self {
+            s.node_entered(depth);
+        }
+    }
+    fn prune_fired(&mut self, kind: PruneKind) {
+        if let Some(s) = self {
+            s.prune_fired(kind);
+        }
+    }
+    fn freq_prob_evaluated(&mut self, pr_f: f64) {
+        if let Some(s) = self {
+            s.freq_prob_evaluated(pr_f);
+        }
+    }
+    fn fcp_bounds(&mut self, lower: f64, upper: f64) {
+        if let Some(s) = self {
+            s.fcp_bounds(lower, upper);
+        }
+    }
+    fn fcp_evaluated(&mut self, method: FcpEvalKind, samples: u64) {
+        if let Some(s) = self {
+            s.fcp_evaluated(method, samples);
+        }
+    }
+    fn result_emitted(&mut self, items: &[Item], fcp: f64) {
+        if let Some(s) = self {
+            s.result_emitted(items, fcp);
+        }
+    }
+    fn phase_start(&mut self, phase: Phase) {
+        if let Some(s) = self {
+            s.phase_start(phase);
+        }
+    }
+    fn phase_end(&mut self, phase: Phase, elapsed: Duration) {
+        if let Some(s) = self {
+            s.phase_end(phase, elapsed);
+        }
+    }
+    fn run_finished(&mut self, outcome: &MiningOutcome) {
+        if let Some(s) = self {
+            s.run_finished(outcome);
+        }
+    }
+}
+
 /// The do-nothing sink: every callback is an empty inline default, so
 /// miners instantiated with it compile to exactly the uninstrumented
 /// code.
@@ -809,6 +869,21 @@ impl<W: Write> JsonlSink<W> {
         self.written
     }
 
+    /// True once a write has failed. Further events are discarded, so a
+    /// trace file with a latched error is silently truncated — callers
+    /// that keep mining should check this between runs and report it
+    /// rather than trust the file.
+    pub fn has_error(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Take the latched I/O error, if any, leaving the sink error-free
+    /// (subsequent events will be written again). [`JsonlSink::finish`]
+    /// returns the error instead if it is still latched.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
     /// Append one event as a JSONL line.
     pub fn record(&mut self, event: &TraceEvent) {
         if self.error.is_some() {
@@ -1101,6 +1176,79 @@ mod tests {
             replayed.timers.total(Phase::FreqDp),
             Duration::from_nanos(12345)
         );
+    }
+
+    /// A writer that fails every write after the first `ok_writes`.
+    #[derive(Debug)]
+    struct FailAfter {
+        ok_writes: usize,
+        sunk: Vec<u8>,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(io::Error::other("disk full"));
+            }
+            self.ok_writes -= 1;
+            self.sunk.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_latches_write_errors() {
+        // Three raw write calls succeed, then the "disk" fills. One
+        // writeln! may issue several write calls, so assert the shape —
+        // a truncated prefix plus a latched error — not exact counts.
+        let mut sink = JsonlSink::new(FailAfter {
+            ok_writes: 3,
+            sunk: Vec::new(),
+        });
+        let events = sample_events();
+        assert!(!sink.has_error());
+        for e in &events {
+            sink.record(e);
+        }
+        assert!(sink.has_error());
+        assert!(sink.lines_written() < events.len() as u64);
+        let err = sink.finish().expect_err("latched error must surface");
+        assert_eq!(err.to_string(), "disk full");
+    }
+
+    #[test]
+    fn take_error_unlatches() {
+        let mut sink = JsonlSink::new(FailAfter {
+            ok_writes: 0,
+            sunk: Vec::new(),
+        });
+        let events = sample_events();
+        sink.record(&events[0]);
+        sink.record(&events[1]);
+        assert_eq!(sink.lines_written(), 0);
+        assert!(sink.has_error());
+        let err = sink.take_error().expect("error was latched");
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(!sink.has_error());
+        assert!(sink.take_error().is_none());
+    }
+
+    #[test]
+    fn option_sink_forwards_some_and_discards_none() {
+        let mut some: Option<CountingSink> = Some(CountingSink::default());
+        some.node_entered(1);
+        some.prune_fired(PruneKind::FreqProb);
+        assert!(some.is_enabled());
+        assert_eq!(some.as_ref().unwrap().stats.nodes_visited, 1);
+        assert_eq!(some.as_ref().unwrap().stats.freq_pruned, 1);
+
+        let mut none: Option<CountingSink> = None;
+        none.node_entered(1);
+        assert!(!none.is_enabled());
+        assert!(none.is_none());
     }
 
     #[test]

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Benchmark pipeline: run the dataset×algorithm matrix via the
+# bench-report binary, emit a versioned BENCH_<label>.json, and
+# schema-validate it with the same binary (in-tree parser, no external
+# tooling).
+#
+#   scripts/bench.sh                full matrix (laptop scale) -> BENCH_<label>.json
+#   scripts/bench.sh --smoke        tiny-scale matrix with a tight per-cell
+#                                   budget -> target/bench/BENCH_smoke.json
+#                                   (the scripts/ci.sh gate)
+#
+# Environment:
+#   LABEL=name       report label for full runs   (default: local)
+#   BASELINE=file    gate the fresh report against an archived one
+#                    (e.g. BASELINE=BENCH_seed.json), failing the run on
+#                    any cell slower by more than FAIL_PCT percent
+#   FAIL_PCT=pct     regression threshold          (default: 20)
+#   TRACK_ALLOC=0    skip the tracking allocator (peak_alloc_bytes = 0)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=1 ;;
+        *)
+            echo "usage: scripts/bench.sh [--smoke]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+FEATURES=()
+if [[ "${TRACK_ALLOC:-1}" == 1 ]]; then
+    FEATURES+=(--features track-alloc)
+fi
+BENCH=(cargo run --release -q -p pfcim-bench "${FEATURES[@]}" --bin bench-report --)
+
+if [[ $SMOKE == 1 ]]; then
+    out=target/bench
+    # Slow cells (Naive at low support) are cut at the budget and land
+    # in the report as timed_out — the smoke gate checks the pipeline
+    # and the schema, not absolute timings.
+    "${BENCH[@]}" --smoke --label smoke --budget 5 --out-dir "$out"
+    "${BENCH[@]}" --validate "$out/BENCH_smoke.json"
+else
+    label="${LABEL:-local}"
+    "${BENCH[@]}" --label "$label" --out-dir .
+    "${BENCH[@]}" --validate "BENCH_${label}.json"
+    if [[ -n "${BASELINE:-}" ]]; then
+        "${BENCH[@]}" --compare "$BASELINE" "BENCH_${label}.json" \
+            --fail-on-regress "${FAIL_PCT:-20}"
+    fi
+fi
+
+echo "bench: done"

@@ -13,6 +13,10 @@ run() {
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test --workspace -q
+run cargo test -p pfcim-core --features track-alloc -q
 run cargo check --benches --workspace
+# Benchmark pipeline smoke: run the tiny matrix end-to-end and
+# schema-validate the emitted BENCH_smoke.json.
+run scripts/bench.sh --smoke
 
 echo "ci: all checks passed"

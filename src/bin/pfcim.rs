@@ -3,7 +3,13 @@
 //! ```text
 //! pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] [--epsilon E] [--delta D]
 //!       [--variant mpfci|bfs|naive] [--stats] [--trace FILE.jsonl]
+//!       [--metrics FILE.json]
 //! ```
+//!
+//! `--metrics` records the run through a [`HistogramSink`] and writes
+//! the resulting registry snapshot (counters mirroring the miner stats,
+//! plus latency/size histogram summaries) as one JSON object. `--stats`
+//! prints the same distributions to stderr alongside the counters.
 //!
 //! The input format is one transaction per line: whitespace-separated
 //! integer item ids, optionally followed by `: probability` (lines
@@ -18,7 +24,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pfcim::core::{mine_naive_with, mine_with, JsonlSink, MinerConfig, NullSink, SearchStrategy};
+use pfcim::core::{
+    mine_naive_with, mine_with, HistogramSink, JsonlSink, MinerConfig, SearchStrategy, Tee,
+};
 use pfcim::utdb::io;
 
 struct Args {
@@ -30,6 +38,7 @@ struct Args {
     variant: String,
     stats: bool,
     trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
     let mut variant = "mpfci".to_owned();
     let mut stats = false;
     let mut trace = None;
+    let mut metrics = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -62,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
             "--variant" => variant = value("--variant")?,
             "--stats" => stats = true,
             "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+            "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
             "--help" | "-h" => return Err(String::new()),
             other if file.is_none() && !other.starts_with('-') => file = Some(PathBuf::from(other)),
             other => return Err(format!("unknown argument {other:?}")),
@@ -76,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         variant,
         stats,
         trace,
+        metrics,
     })
 }
 
@@ -89,7 +101,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] \
                  [--epsilon E] [--delta D] [--variant mpfci|bfs|naive] [--stats] \
-                 [--trace FILE.jsonl]"
+                 [--trace FILE.jsonl] [--metrics FILE.json]"
             );
             return ExitCode::from(2);
         }
@@ -151,24 +163,39 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    let run = |sink: &mut dyn pfcim::core::MinerSink| {
+    // --metrics and --stats both record the run's cost distributions.
+    let mut hist = (args.stats || args.metrics.is_some()).then(HistogramSink::new);
+    let outcome = {
+        let mut sink = Tee(trace_sink.as_mut().map(|(_, s)| s), hist.as_mut());
         if args.variant == "naive" {
-            mine_naive_with(&db, &config, sink)
+            mine_naive_with(&db, &config, &mut sink)
         } else {
-            mine_with(&db, &config, sink)
+            mine_with(&db, &config, &mut sink)
         }
     };
-    let outcome = match &mut trace_sink {
-        Some((_, sink)) => run(sink),
-        None => run(&mut NullSink),
-    };
     if let Some((path, sink)) = trace_sink {
+        // A write failure anywhere mid-run is latched in the sink and
+        // surfaces on finish; report how much trace survived and fail.
+        let written = sink.lines_written();
         match sink.finish() {
-            Ok(_) => eprintln!("trace written to {}", path.display()),
+            Ok(_) => eprintln!("trace written to {} ({written} events)", path.display()),
             Err(e) => {
-                eprintln!("error writing trace {}: {e}", path.display());
+                eprintln!(
+                    "error: trace {} failed after {written} events: {e}",
+                    path.display()
+                );
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(hist) = &hist {
+        if let Some(path) = &args.metrics {
+            let json = hist.snapshot().to_json();
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("error: cannot write metrics {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("metrics written to {}", path.display());
         }
     }
 
@@ -184,6 +211,11 @@ fn main() -> ExitCode {
     );
     if args.stats {
         eprintln!("{}", outcome.timed_stats());
+        if let Some(hist) = &hist {
+            for (name, h) in hist.snapshot().histograms() {
+                eprintln!("# {name}: {}", h.summary());
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -78,6 +78,37 @@ fn stats_flag_reports_counters() {
 }
 
 #[test]
+fn metrics_flag_writes_registry_snapshot() {
+    let path = write_running_example();
+    let metrics =
+        std::env::temp_dir().join(format!("pfcim_cli_metrics_{}.json", std::process::id()));
+    let out = bin()
+        .args([
+            path.to_str().unwrap(),
+            "--min-sup",
+            "2",
+            "--stats",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // --stats now includes the histogram summaries...
+    assert!(stderr.contains("metrics written to"), "{stderr}");
+    assert!(stderr.contains("# node_depth:"), "{stderr}");
+    // ...and --metrics wrote the full registry snapshot as JSON.
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.starts_with("{\"counters\":{"), "{json}");
+    assert!(json.contains("\"nodes_visited\":"), "{json}");
+    assert!(json.contains("\"node_depth\":{\"count\":"), "{json}");
+    assert!(json.contains("\"gauges\":{\"elapsed_s\":"), "{json}");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = bin().output().unwrap(); // no args
     assert_eq!(out.status.code(), Some(2));

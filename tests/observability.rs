@@ -4,8 +4,9 @@
 //! round trip through a real file.
 
 use pfcim::core::{
-    mine_bfs_with, mine_dfs_with, mine_naive_with, parse_jsonl, CountingSink, JsonlSink,
-    MinerConfig, MiningOutcome, NullSink, RecordingSink, SearchStrategy, TraceEvent,
+    mine_bfs_with, mine_dfs_with, mine_naive_with, parse_jsonl, CountingSink, HistogramSink,
+    JsonlSink, MinerConfig, MiningOutcome, NullSink, Phase, RecordingSink, SearchStrategy,
+    TraceEvent,
 };
 use pfcim::utdb::UncertainDatabase;
 
@@ -91,6 +92,61 @@ fn observation_does_not_perturb_mining() {
             "{name}: observation changed the miner's counters"
         );
         assert_eq!(baseline.timed_out, observed.timed_out);
+    }
+}
+
+#[test]
+fn histogram_sink_does_not_perturb_and_reconciles() {
+    // Recording full latency/size distributions must not change what is
+    // mined, and the snapshot's counters must mirror the run's stats.
+    let db = table2();
+    for (name, cfg, _) in all_miners() {
+        let baseline = match name {
+            "dfs" => mine_dfs_with(&db, &cfg, &mut NullSink),
+            "bfs" => mine_bfs_with(&db, &cfg, &mut NullSink),
+            _ => mine_naive_with(&db, &cfg, &mut NullSink),
+        };
+        let mut sink = HistogramSink::new();
+        let observed = match name {
+            "dfs" => mine_dfs_with(&db, &cfg, &mut sink),
+            "bfs" => mine_bfs_with(&db, &cfg, &mut sink),
+            _ => mine_naive_with(&db, &cfg, &mut sink),
+        };
+        assert_eq!(baseline.results, observed.results, "{name}: results moved");
+        assert_eq!(baseline.stats, observed.stats, "{name}: counters moved");
+
+        let reg = sink.snapshot();
+        assert_eq!(
+            reg.counter("nodes_visited"),
+            Some(observed.stats.nodes_visited),
+            "{name}"
+        );
+        assert_eq!(
+            reg.counter("results"),
+            Some(observed.results.len() as u64),
+            "{name}"
+        );
+        assert_eq!(reg.counter("runs"), Some(1), "{name}");
+        assert_eq!(
+            reg.get_histogram("node_depth").map_or(0, |h| h.count()),
+            observed.stats.nodes_visited,
+            "{name}: one depth sample per node"
+        );
+        // Each phase histogram carries one sample per timed phase call.
+        for phase in Phase::ALL {
+            let hist = reg.get_histogram(&format!("phase_{}_s", phase.name()));
+            assert_eq!(
+                hist.map_or(0, |h| h.count()),
+                observed.timers.count(phase),
+                "{name}: {} call count",
+                phase.name()
+            );
+        }
+        let elapsed = reg.gauge("elapsed_s").unwrap();
+        assert!(
+            (elapsed - observed.elapsed.as_secs_f64()).abs() < 1e-9,
+            "{name}"
+        );
     }
 }
 
