@@ -17,8 +17,15 @@ use std::fmt;
 
 use pfcim_core::HistogramSummary;
 
-/// Schema version stamped into (and required of) every report.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version stamped into every report. Version 2 added the
+/// top-level `threads` field (the miner worker count the matrix ran
+/// with); version-1 documents are still accepted by
+/// [`BenchReport::from_json`] and read as `threads = 1` — everything
+/// before the parallel miner was sequential.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`BenchReport::from_json`] still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Cells faster than this, or slowdowns smaller than this, never count
 /// as regressions — sub-5ms timings are dominated by noise.
@@ -397,6 +404,9 @@ pub struct BenchReport {
     pub label: String,
     /// Dataset scale the matrix ran at (`tiny`/`laptop`/`paper`).
     pub scale: String,
+    /// Miner worker count the matrix ran with (`1` = sequential; schema
+    /// v1 reports, which predate the parallel miner, parse as `1`).
+    pub threads: u64,
     /// Unix timestamp of report creation.
     pub created_unix: u64,
     /// One entry per matrix cell.
@@ -413,8 +423,8 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\n  \"version\": {},\n  \"label\": \"{}\",\n  \"scale\": \"{}\",\n  \
-             \"created_unix\": {},\n  \"entries\": [\n",
-            self.version, self.label, self.scale, self.created_unix
+             \"threads\": {},\n  \"created_unix\": {},\n  \"entries\": [\n",
+            self.version, self.label, self.scale, self.threads, self.created_unix
         );
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str("    ");
@@ -430,22 +440,29 @@ impl BenchReport {
     }
 
     /// Parse and schema-validate a report. Every missing or mistyped
-    /// field is an error naming its path; the version must match
-    /// [`SCHEMA_VERSION`], and a valid report covers at least two
-    /// distinct algorithms (the regression gate is meaningless
-    /// otherwise).
+    /// field is an error naming its path; the version must lie in
+    /// [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`] (v1 reports predate
+    /// the `threads` field and parse as sequential runs), and a valid
+    /// report covers at least two distinct algorithms (the regression
+    /// gate is meaningless otherwise).
     pub fn from_json(text: &str) -> Result<BenchReport, String> {
         let root = JsonValue::parse(text)?;
         let version = field_u64(&root, "version")?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema version {version} (expected {SCHEMA_VERSION})"
+                "unsupported schema version {version} \
+                 (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         let report = BenchReport {
             version,
             label: field_str(&root, "label")?,
             scale: field_str(&root, "scale")?,
+            threads: if version >= 2 {
+                field_u64(&root, "threads")?
+            } else {
+                1
+            },
             created_unix: field_u64(&root, "created_unix")?,
             entries: root
                 .get("entries")
@@ -678,6 +695,7 @@ mod tests {
             version: SCHEMA_VERSION,
             label: "test".to_owned(),
             scale: "tiny".to_owned(),
+            threads: 4,
             created_unix: 1_754_000_000,
             entries: vec![sample_entry("MPFCI", elapsed_s), sample_entry("Naive", 2.0)],
         }
@@ -711,6 +729,20 @@ mod tests {
     }
 
     #[test]
+    fn v1_reports_still_parse_as_sequential() {
+        // A pre-parallelism document: version 1, no "threads" field.
+        let mut report = sample_report(1.0);
+        report.version = 1;
+        report.threads = 7; // must be ignored by the v1 reader
+        let v1_json = report.to_json().replace("\"threads\": 7,\n  ", "");
+        assert!(!v1_json.contains("threads"));
+        let parsed = BenchReport::from_json(&v1_json).unwrap();
+        assert_eq!(parsed.version, 1);
+        assert_eq!(parsed.threads, 1, "v1 reports are sequential by definition");
+        assert_eq!(parsed.entries.len(), 2);
+    }
+
+    #[test]
     fn validation_names_the_broken_field() {
         let mut report = sample_report(1.0);
         report.version = 99;
@@ -723,6 +755,13 @@ mod tests {
 
         let err = BenchReport::from_json("{\"version\":1}").unwrap_err();
         assert!(err.contains("label"), "{err}");
+
+        // v2 requires the threads field it introduced.
+        let headless = sample_report(1.0)
+            .to_json()
+            .replace("\"threads\": 4,\n  ", "");
+        let err = BenchReport::from_json(&headless).unwrap_err();
+        assert!(err.contains("threads"), "{err}");
     }
 
     #[test]

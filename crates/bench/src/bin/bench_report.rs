@@ -3,11 +3,16 @@
 //!
 //! ```text
 //! bench-report [--label L] [--scale tiny|laptop|paper] [--smoke]
-//!              [--budget SECONDS] [--out-dir DIR]
+//!              [--budget SECONDS] [--threads N] [--out-dir DIR]
 //!              [--baseline OLD.json] [--fail-on-regress PCT]
 //! bench-report --compare OLD.json NEW.json [--fail-on-regress PCT]
 //! bench-report --validate FILE.json
 //! ```
+//!
+//! `--threads N` mines every cell with `N` miner workers (`0` =
+//! available parallelism; default 1, the sequential miner) and stamps
+//! the count into the report's schema-v2 `threads` field, so reports at
+//! different worker counts can be compared for scaling.
 //!
 //! The default mode mines every cell of
 //! [`pfcim_bench::experiments::bench_cells`] under a
@@ -53,13 +58,14 @@ struct RunArgs {
     scale: Scale,
     smoke: bool,
     budget: Duration,
+    threads: usize,
     out_dir: PathBuf,
     baseline: Option<PathBuf>,
     fail_pct: f64,
 }
 
 const USAGE: &str = "usage: bench-report [--label L] [--scale tiny|laptop|paper] [--smoke]\n\
-       \x20            [--budget SECONDS] [--out-dir DIR]\n\
+       \x20            [--budget SECONDS] [--threads N] [--out-dir DIR]\n\
        \x20            [--baseline OLD.json] [--fail-on-regress PCT]\n\
        bench-report --compare OLD.json NEW.json [--fail-on-regress PCT]\n\
        bench-report --validate FILE.json";
@@ -69,6 +75,7 @@ fn parse_args() -> Result<Mode, String> {
     let mut scale = None;
     let mut smoke = false;
     let mut budget = DEFAULT_CELL_BUDGET;
+    let mut threads = 1usize;
     let mut out_dir = PathBuf::from(".");
     let mut baseline = None;
     let mut fail_pct: Option<f64> = None;
@@ -99,6 +106,15 @@ fn parse_args() -> Result<Mode, String> {
                 let v = value("--budget")?;
                 let s: u64 = v.parse().map_err(|_| format!("bad budget {v:?}"))?;
                 budget = Duration::from_secs(s);
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                if threads == 0 {
+                    // Resolve auto here so the report records the real
+                    // worker count instead of a 0 placeholder.
+                    threads = pfcim_core::par::available_parallelism();
+                }
             }
             "--out-dir" => out_dir = PathBuf::from(value("--out-dir")?),
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
@@ -132,6 +148,7 @@ fn parse_args() -> Result<Mode, String> {
         scale: scale.unwrap_or(if smoke { Scale::Tiny } else { Scale::Laptop }),
         smoke,
         budget,
+        threads,
         out_dir,
         baseline,
         fail_pct: fail_pct.unwrap_or(20.0),
@@ -165,7 +182,12 @@ fn gate(baseline: &BenchReport, current: &BenchReport, fail_pct: f64) -> bool {
     }
 }
 
-fn run_cell(cell: &BenchCell, db: &utdb::UncertainDatabase, budget: Duration) -> BenchEntry {
+fn run_cell(
+    cell: &BenchCell,
+    db: &utdb::UncertainDatabase,
+    budget: Duration,
+    threads: usize,
+) -> BenchEntry {
     // Rebase both memory high-water marks so the cell reports its own
     // peak (best-effort for RSS; see `benchreport::reset_peak_rss`).
     benchreport::reset_peak_rss();
@@ -176,7 +198,11 @@ fn run_cell(cell: &BenchCell, db: &utdb::UncertainDatabase, budget: Duration) ->
     };
 
     let min_sup = pfcim_bench::datasets::abs_min_sup(db, cell.min_sup_rel);
-    let cfg = cell.algo.config(min_sup).with_time_budget(budget);
+    let cfg = cell
+        .algo
+        .config(min_sup)
+        .with_time_budget(budget)
+        .with_threads(threads);
     let mut sink = HistogramSink::new();
     let outcome = cell.algo.run(db, &cfg, &mut sink);
 
@@ -234,10 +260,12 @@ fn run_matrix(args: &RunArgs) -> Result<BenchReport, String> {
         Scale::Paper => "paper",
     };
     println!(
-        "# bench-report — label={}, scale={scale_name}, smoke={}, per-cell budget={}s{}",
+        "# bench-report — label={}, scale={scale_name}, smoke={}, per-cell budget={}s, \
+         threads={}{}",
         args.label,
         args.smoke,
         args.budget.as_secs(),
+        args.threads,
         if cfg!(feature = "track-alloc") {
             ", allocator tracking on"
         } else {
@@ -255,7 +283,7 @@ fn run_matrix(args: &RunArgs) -> Result<BenchReport, String> {
     for dataset in DatasetKind::ALL {
         let db = dataset.uncertain(args.scale, 42);
         for cell in cells.iter().filter(|c| c.dataset == dataset) {
-            let entry = run_cell(cell, &db, args.budget);
+            let entry = run_cell(cell, &db, args.budget, args.threads);
             table.push_row(vec![
                 entry.dataset.clone(),
                 entry.algo.clone(),
@@ -277,6 +305,7 @@ fn run_matrix(args: &RunArgs) -> Result<BenchReport, String> {
         version: SCHEMA_VERSION,
         label: args.label.clone(),
         scale: scale_name.to_owned(),
+        threads: args.threads as u64,
         created_unix: SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map_err(|e| e.to_string())?

@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! repro [EXPERIMENTS...] [--scale tiny|laptop|paper] [--budget SECONDS]
-//!       [--out DIR] [--trace FILE.jsonl] [--progress]
+//!       [--out DIR] [--threads N] [--trace FILE.jsonl] [--progress]
 //!
 //! EXPERIMENTS: all (default), fig5, fig6, fig7, fig8, fig9, fig10,
 //!              fig11, fig12, table7, table8
 //! ```
+//!
+//! `--threads N` sets the miner worker count for every cell (the
+//! experiment drivers build their configs internally, so the flag is
+//! forwarded through the `PFCIM_THREADS` environment variable). `0`
+//! means auto-detect; `1` — the default here, for run-to-run
+//! reproducibility — is the sequential miner.
 //!
 //! Results are printed as aligned tables and archived as CSV under the
 //! output directory (default `results/`). `--trace` streams every mining
@@ -43,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("results");
     let mut trace = None;
     let mut progress = false;
+    let mut threads: Option<usize> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -58,6 +65,11 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(argv.next().ok_or("--out needs a value")?);
             }
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                threads = Some(n);
+            }
             "--trace" => {
                 trace = Some(PathBuf::from(argv.next().ok_or("--trace needs a value")?));
             }
@@ -70,6 +82,19 @@ fn parse_args() -> Result<Args, String> {
     }
     if experiments.is_empty() {
         experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+    // The experiment drivers construct their MinerConfigs internally
+    // with the auto default, so the worker count travels through the
+    // documented environment override. Without an explicit --threads
+    // (or a pre-set PFCIM_THREADS), pin the sequential miner so the
+    // regenerated tables stay run-to-run reproducible.
+    match threads {
+        Some(n) => std::env::set_var("PFCIM_THREADS", n.to_string()),
+        None => {
+            if std::env::var_os("PFCIM_THREADS").is_none() {
+                std::env::set_var("PFCIM_THREADS", "1");
+            }
+        }
     }
     Ok(Args {
         experiments,
@@ -90,7 +115,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [EXPERIMENTS...] [--scale tiny|laptop|paper] \
-                 [--budget SECONDS] [--out DIR] [--trace FILE.jsonl] [--progress]\n\
+                 [--budget SECONDS] [--out DIR] [--threads N] [--trace FILE.jsonl] \
+                 [--progress]\n\
                  EXPERIMENTS: all {}",
                 ALL_EXPERIMENTS.join(" ")
             );

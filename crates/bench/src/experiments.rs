@@ -15,7 +15,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use pfcim_core::{
-    mine, mine_naive_with, mine_with, FcpMethod, MinerConfig, MinerSink, MiningOutcome, Variant,
+    mine, mine_naive_with, mine_with, FcpMethod, MinerConfig, MiningOutcome, ShardableSink, Variant,
 };
 use utdb::UncertainDatabase;
 
@@ -457,7 +457,7 @@ impl BenchAlgo {
     }
 
     /// Run the algorithm under `sink`.
-    pub fn run<S: MinerSink>(
+    pub fn run<S: ShardableSink>(
         self,
         db: &UncertainDatabase,
         cfg: &MinerConfig,

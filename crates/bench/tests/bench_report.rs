@@ -32,7 +32,7 @@ fn synthetic_report(label: &str, elapsed_s: f64) -> String {
     };
     format!(
         "{{\"version\":{SCHEMA_VERSION},\"label\":\"{label}\",\"scale\":\"tiny\",\
-         \"created_unix\":1754000000,\"entries\":[{},{}]}}",
+         \"threads\":1,\"created_unix\":1754000000,\"entries\":[{},{}]}}",
         entry("MPFCI"),
         entry("Naive")
     )
@@ -103,7 +103,22 @@ fn seed_report_in_the_repository_is_valid() {
     let text = std::fs::read_to_string(&seed).expect("BENCH_seed.json is committed at repo root");
     let report = BenchReport::from_json(&text).expect("seed report matches the schema");
     assert_eq!(report.label, "seed");
+    // The seed predates the parallel miner: a v1 document, which must
+    // keep validating under the v2 reader and read as sequential.
+    assert_eq!(report.version, 1);
+    assert_eq!(report.threads, 1);
     let out = bin().arg("--validate").arg(&seed).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn parallel_report_in_the_repository_is_valid() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_par.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_par.json is committed at repo root");
+    let report = BenchReport::from_json(&text).expect("parallel report matches the schema");
+    assert_eq!(report.version, 2);
+    assert!(report.threads > 1, "BENCH_par.json is a multi-worker run");
+    let out = bin().arg("--validate").arg(&path).output().unwrap();
     assert!(out.status.success(), "{out:?}");
 }
 

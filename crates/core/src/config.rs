@@ -100,6 +100,12 @@ pub struct MinerConfig {
     /// and flags the outcome as timed out (used by the benchmark harness
     /// to reproduce the paper's "longer than one hour" cells).
     pub time_budget: Option<std::time::Duration>,
+    /// Worker threads for the parallel phases (first-level DFS fan-out
+    /// and chunked `ApproxFCP` sampling). `0` means *auto*: the
+    /// `PFCIM_THREADS` environment variable when set to a positive
+    /// integer, otherwise the machine's available parallelism.
+    /// `threads = 1` runs the legacy sequential path byte-identically.
+    pub threads: usize,
 }
 
 impl MinerConfig {
@@ -117,6 +123,7 @@ impl MinerConfig {
             max_pairwise_events: 48,
             seed: 0x05ee_dfc1,
             time_budget: None,
+            threads: 0,
         }
     }
 
@@ -144,6 +151,31 @@ impl MinerConfig {
     pub fn with_time_budget(mut self, budget: std::time::Duration) -> Self {
         self.time_budget = Some(budget);
         self
+    }
+
+    /// Set the worker-thread count (`0` = auto, see
+    /// [`MinerConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolve [`MinerConfig::threads`] to a concrete worker count:
+    /// an explicit positive setting wins, else the `PFCIM_THREADS`
+    /// environment variable (positive integer), else the machine's
+    /// available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(v) = std::env::var("PFCIM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        crate::par::available_parallelism()
     }
 
     /// Apply an experimental variant (Table VII).
@@ -287,5 +319,15 @@ mod tests {
     #[should_panic(expected = "pfct")]
     fn validate_rejects_pfct_one() {
         MinerConfig::new(2, 1.0).validate();
+    }
+
+    #[test]
+    fn threads_default_to_auto_and_builder_overrides() {
+        let c = MinerConfig::new(2, 0.8);
+        assert_eq!(c.threads, 0);
+        assert!(c.effective_threads() >= 1);
+        let c = c.with_threads(3);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.effective_threads(), 3);
     }
 }

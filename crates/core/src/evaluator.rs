@@ -10,12 +10,12 @@
 //! default [`crate::trace::NullSink`] monomorphize every callback away.
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use utdb::{Item, TidSet, UncertainDatabase};
 
 use crate::config::{FcpMethod, MinerConfig};
 use crate::events::NonClosureEvents;
-use crate::fcp::{approx_fcp_adaptive_traced, approx_fcp_traced};
+use crate::fcp::{approx_fcp_adaptive_traced, approx_fcp_chunked_traced, approx_fcp_traced};
 use crate::result::Pfci;
 use crate::stats::{MinerStats, PhaseTimers};
 use crate::trace::{timed, FcpEvalKind, MinerSink, Phase, PruneKind};
@@ -31,6 +31,9 @@ pub(crate) struct Evaluator<'a, S: MinerSink + ?Sized> {
     pub stats: MinerStats,
     pub timers: PhaseTimers,
     pub sink: &'a mut S,
+    /// Resolved worker count for chunked `ApproxFCP`. `1` keeps every
+    /// sampled path byte-identical to the legacy shared-RNG code.
+    threads: usize,
 }
 
 impl<'a, S: MinerSink + ?Sized> Evaluator<'a, S> {
@@ -42,6 +45,7 @@ impl<'a, S: MinerSink + ?Sized> Evaluator<'a, S> {
             stats: MinerStats::default(),
             timers: PhaseTimers::default(),
             sink,
+            threads: cfg.effective_threads(),
         }
     }
 
@@ -93,15 +97,29 @@ impl<'a, S: MinerSink + ?Sized> Evaluator<'a, S> {
     /// `ApproxFCP`, no bounds.
     pub fn evaluate_naive(&mut self, items: &[Item], tids: &TidSet, pr_f: f64) -> Option<Pfci> {
         let events = self.events_for(items, tids);
-        let r = approx_fcp_traced(
-            &events,
-            pr_f,
-            self.cfg.epsilon,
-            self.cfg.delta,
-            &mut self.rng,
-            &mut self.timers,
-            &mut *self.sink,
-        );
+        let r = if self.threads > 1 {
+            let call_seed = self.rng.next_u64();
+            approx_fcp_chunked_traced(
+                &events,
+                pr_f,
+                self.cfg.epsilon,
+                self.cfg.delta,
+                self.threads,
+                call_seed,
+                &mut self.timers,
+                &mut *self.sink,
+            )
+        } else {
+            approx_fcp_traced(
+                &events,
+                pr_f,
+                self.cfg.epsilon,
+                self.cfg.delta,
+                &mut self.rng,
+                &mut self.timers,
+                &mut *self.sink,
+            )
+        };
         self.stats.fcp_sampled += 1;
         self.stats.samples_drawn += r.samples as u64;
         (r.fcp > self.cfg.pfct).then(|| self.emit(items, r.fcp, pr_f))
@@ -122,12 +140,26 @@ impl<'a, S: MinerSink + ?Sized> Evaluator<'a, S> {
             (pr_f - union).clamp(0.0, pr_f)
         } else {
             let r = if matches!(self.cfg.fcp_method, FcpMethod::ApproxAdaptive) {
+                // The stopping rule is inherently sequential (each draw
+                // decides whether to continue), so it never chunks.
                 approx_fcp_adaptive_traced(
                     events,
                     pr_f,
                     self.cfg.epsilon,
                     self.cfg.delta,
                     &mut self.rng,
+                    &mut self.timers,
+                    &mut *self.sink,
+                )
+            } else if self.threads > 1 {
+                let call_seed = self.rng.next_u64();
+                approx_fcp_chunked_traced(
+                    events,
+                    pr_f,
+                    self.cfg.epsilon,
+                    self.cfg.delta,
+                    self.threads,
+                    call_seed,
                     &mut self.timers,
                     &mut *self.sink,
                 )

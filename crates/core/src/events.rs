@@ -375,6 +375,70 @@ impl UnionEventSystem for NonClosureEvents {
     }
 }
 
+/// A `Sync` sampling view over a [`NonClosureEvents`] family.
+///
+/// [`NonClosureEvents`] keeps interior-mutable caches (`RefCell`/`Rc`
+/// lazy samplers, joint scratch) and therefore cannot be shared across
+/// the worker threads of chunked `ApproxFCP`. This view borrows the
+/// plain event data and *eagerly* builds one owned
+/// [`ConditionalBernoulliSampler`] per event, so it contains no interior
+/// mutability at all and `&SampleView` crosses threads freely.
+///
+/// Its [`UnionEventSystem`] implementation draws bit-identically to the
+/// parent family given an equal RNG state.
+pub struct SampleView<'a> {
+    events: &'a [NcEvent],
+    samplers: Vec<ConditionalBernoulliSampler>,
+    num_positions: usize,
+    min_sup: usize,
+}
+
+impl NonClosureEvents {
+    /// Build a thread-shareable sampling view (see [`SampleView`]).
+    pub fn sample_view(&self) -> SampleView<'_> {
+        SampleView {
+            events: &self.events,
+            samplers: self
+                .events
+                .iter()
+                .map(|e| ConditionalBernoulliSampler::new(e.mask_probs.clone(), self.min_sup))
+                .collect(),
+            num_positions: self.probs.len(),
+            min_sup: self.min_sup,
+        }
+    }
+}
+
+impl UnionEventSystem for SampleView<'_> {
+    type World = TidSet;
+
+    fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    fn event_prob(&self, i: usize) -> f64 {
+        self.events[i].prob
+    }
+
+    fn sample_world_given(&self, i: usize, rng: &mut dyn Rng) -> TidSet {
+        let event = &self.events[i];
+        let mut draws = Vec::with_capacity(event.mask_probs.len());
+        self.samplers[i].sample_into(rng, &mut draws);
+        let mut world = TidSet::new(self.num_positions);
+        for (draw_idx, pos) in event.mask.iter().enumerate() {
+            if draws[draw_idx] {
+                world.insert(pos);
+            }
+        }
+        world
+    }
+
+    fn world_satisfies(&self, world: &TidSet, j: usize) -> bool {
+        let event = &self.events[j];
+        world.is_subset(&event.mask) && world.count() >= self.min_sup
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,6 +660,28 @@ mod tests {
                 est.fcp
             );
         }
+    }
+
+    #[test]
+    fn sample_view_is_sync_and_draws_identically_to_the_family() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        fn assert_sync<T: Sync>(_: &T) {}
+        let db = table2();
+        let fam = family_for(&db, &items(&db, "d"), 1);
+        let view = fam.sample_view();
+        assert_sync(&view);
+        assert_eq!(view.num_events(), fam.len());
+        for i in 0..fam.len() {
+            assert_eq!(view.event_prob(i), fam.event_prob(i));
+        }
+        // Equal RNG state ⇒ bit-identical Karp–Luby estimates.
+        let mut rng_a = SmallRng::seed_from_u64(99);
+        let mut rng_b = SmallRng::seed_from_u64(99);
+        let a = prob::karp_luby_union_with_samples(&fam, 5_000, &mut rng_a);
+        let b = prob::karp_luby_union_with_samples(&view, 5_000, &mut rng_b);
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        assert_eq!(a.samples, b.samples);
     }
 
     #[test]

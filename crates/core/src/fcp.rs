@@ -11,9 +11,11 @@
 use prob::dnf::{
     karp_luby_union_adaptive, karp_luby_union_with_samples, required_samples, KarpLubyEstimate,
 };
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::events::NonClosureEvents;
+use crate::par;
 use crate::stats::PhaseTimers;
 use crate::trace::{timed, FcpEvalKind, MinerSink, Phase};
 
@@ -88,6 +90,82 @@ pub fn approx_fcp_adaptive<R: Rng>(
         fnc: est.estimate,
         samples: est.samples,
     }
+}
+
+/// [`approx_fcp`] with its `N` samples split across up to `threads`
+/// workers (chunked Karp–Luby).
+///
+/// Each chunk gets its own `SmallRng` whose seed is drawn sequentially
+/// from a stream seeded with `call_seed`, so the estimate depends only on
+/// `(call_seed, threads)` — never on scheduling — and is reproducible.
+/// Every chunk shares the total event mass `Z`, so the chunk estimates
+/// `Z·hits_i/n_i` combine exactly via their sample-weighted mean: the
+/// FPRAS guarantee of the single-pass estimator carries over unchanged.
+/// With `threads ≤ 1` this is the same estimator as [`approx_fcp`]
+/// modulo the RNG stream (the sequential miner keeps its legacy shared
+/// RNG and never calls this).
+pub fn approx_fcp_chunked(
+    events: &NonClosureEvents,
+    pr_f: f64,
+    epsilon: f64,
+    delta: f64,
+    threads: usize,
+    call_seed: u64,
+) -> ApproxFcpResult {
+    if events.is_empty() {
+        return ApproxFcpResult {
+            fcp: pr_f,
+            fnc: 0.0,
+            samples: 0,
+        };
+    }
+    let n = required_samples(events.considered_items(), epsilon, delta);
+    let chunks = par::chunk_sizes(n, threads.max(1));
+    let mut seed_rng = SmallRng::seed_from_u64(call_seed);
+    let tasks: Vec<(usize, u64)> = chunks
+        .into_iter()
+        .map(|c| (c, seed_rng.next_u64()))
+        .collect();
+    let view = events.sample_view();
+    let estimates = par::scatter(threads, tasks, |_, (chunk, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        karp_luby_union_with_samples(&view, chunk, &mut rng)
+    });
+    let total: usize = estimates.iter().map(|e| e.samples).sum();
+    let weighted: f64 = estimates
+        .iter()
+        .map(|e| e.estimate * e.samples as f64)
+        .sum();
+    let estimate = if total > 0 {
+        weighted / total as f64
+    } else {
+        0.0
+    };
+    ApproxFcpResult {
+        fcp: (pr_f - estimate).clamp(0.0, pr_f),
+        fnc: estimate,
+        samples: total,
+    }
+}
+
+/// [`approx_fcp_chunked`] as an instrumented phase; see
+/// [`approx_fcp_traced`].
+#[allow(clippy::too_many_arguments)] // mirrors approx_fcp_traced + (threads, call_seed)
+pub fn approx_fcp_chunked_traced<S: MinerSink + ?Sized>(
+    events: &NonClosureEvents,
+    pr_f: f64,
+    epsilon: f64,
+    delta: f64,
+    threads: usize,
+    call_seed: u64,
+    timers: &mut PhaseTimers,
+    sink: &mut S,
+) -> ApproxFcpResult {
+    let r = timed(Phase::FcpSample, timers, &mut *sink, || {
+        approx_fcp_chunked(events, pr_f, epsilon, delta, threads, call_seed)
+    });
+    sink.fcp_evaluated(FcpEvalKind::Sampled, r.samples as u64);
+    r
 }
 
 /// [`approx_fcp`] as an instrumented phase: the sampling pass is timed
@@ -226,6 +304,81 @@ mod tests {
             &mut rec,
         );
         assert_eq!(plain.fcp, traced.fcp);
+        assert_eq!(plain.samples, traced.samples);
+        assert_eq!(timers.count(Phase::FcpSample), 1);
+        assert!(rec.events.iter().any(|e| matches!(
+            e,
+            crate::trace::TraceEvent::FcpEval {
+                method: FcpEvalKind::Sampled,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn chunked_estimate_is_reproducible_per_seed_and_thread_count() {
+        let db = table2();
+        let (events, pr_f) = family(&db, "a b c", 2);
+        for threads in [1, 2, 4, 7] {
+            let a = approx_fcp_chunked(&events, pr_f, 0.1, 0.1, threads, 0xfeed);
+            let b = approx_fcp_chunked(&events, pr_f, 0.1, 0.1, threads, 0xfeed);
+            assert_eq!(a.fcp.to_bits(), b.fcp.to_bits(), "threads={threads}");
+            assert_eq!(a.samples, b.samples);
+        }
+        // Different seeds diverge (the estimator really is sampling).
+        // The {a} family has three non-closure events, so the hit rate is
+        // genuinely stochastic ({a,b,c}'s single-event family is not: its
+        // estimate is exactly `z` for every seed).
+        let (events, pr_f) = family(&db, "a", 2);
+        let base = approx_fcp_chunked(&events, pr_f, 0.1, 0.1, 4, 0xfeed)
+            .fcp
+            .to_bits();
+        let diverged = (0..4u64).any(|k| {
+            approx_fcp_chunked(&events, pr_f, 0.1, 0.1, 4, 0xbeef + k)
+                .fcp
+                .to_bits()
+                != base
+        });
+        assert!(diverged, "sampling estimator never diverged across seeds");
+    }
+
+    #[test]
+    fn chunked_estimate_tracks_exact_value() {
+        // Pr_FC({a,b,c}) = 0.8754 (Example 1.2 / 4.3), for every chunking.
+        let db = table2();
+        let (events, pr_f) = family(&db, "a b c", 2);
+        for threads in [1, 2, 4, 7] {
+            let r = approx_fcp_chunked(&events, pr_f, 0.05, 0.05, threads, 42);
+            assert!(
+                (r.fcp - 0.8754).abs() < 0.01,
+                "threads={threads}: {}",
+                r.fcp
+            );
+            // All chunks together still draw the full fixed-N budget.
+            let n = approx_fcp(&events, pr_f, 0.05, 0.05, &mut SmallRng::seed_from_u64(5)).samples;
+            assert_eq!(r.samples, n);
+        }
+    }
+
+    #[test]
+    fn chunked_empty_family_short_circuits() {
+        let db = table2();
+        let (events, pr_f) = family(&db, "a b c d", 2);
+        let r = approx_fcp_chunked(&events, pr_f, 0.1, 0.1, 4, 7);
+        assert_eq!(r.fcp, 0.81);
+        assert_eq!(r.samples, 0);
+    }
+
+    #[test]
+    fn chunked_traced_matches_untraced_and_reports() {
+        let db = table2();
+        let (events, pr_f) = family(&db, "a b c", 2);
+        let plain = approx_fcp_chunked(&events, pr_f, 0.1, 0.1, 3, 77);
+        let mut timers = PhaseTimers::default();
+        let mut rec = crate::trace::RecordingSink::default();
+        let traced =
+            approx_fcp_chunked_traced(&events, pr_f, 0.1, 0.1, 3, 77, &mut timers, &mut rec);
+        assert_eq!(plain.fcp.to_bits(), traced.fcp.to_bits());
         assert_eq!(plain.samples, traced.samples);
         assert_eq!(timers.count(Phase::FcpSample), 1);
         assert!(rec.events.iter().any(|e| matches!(

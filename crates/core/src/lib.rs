@@ -67,15 +67,19 @@ pub mod memtrack;
 pub mod metrics;
 pub mod mpfci;
 pub mod naive;
+pub mod par;
 pub mod result;
 pub mod stats;
 pub mod trace;
 
 pub use bfs::{mine_bfs, mine_bfs_with};
 pub use config::{FcpMethod, MinerConfig, PruningConfig, SearchStrategy, Variant};
-pub use events::NonClosureEvents;
+pub use events::{NonClosureEvents, SampleView};
 pub use exact::{exact_fcp_by_worlds, exact_fcp_inclusion_exclusion, exact_pfci_set};
-pub use fcp::{approx_fcp, approx_fcp_adaptive, approx_fcp_adaptive_traced, approx_fcp_traced};
+pub use fcp::{
+    approx_fcp, approx_fcp_adaptive, approx_fcp_adaptive_traced, approx_fcp_chunked,
+    approx_fcp_chunked_traced, approx_fcp_traced,
+};
 pub use metrics::{Histogram, HistogramSink, HistogramSummary, MetricsRegistry};
 pub use mpfci::{mine, mine_dfs, mine_dfs_with, mine_with};
 pub use naive::{mine_naive, mine_naive_with};
@@ -83,5 +87,5 @@ pub use result::{MiningOutcome, Pfci};
 pub use stats::{MinerStats, PhaseTimers, TimedStats};
 pub use trace::{
     parse_jsonl, CountingSink, FcpEvalKind, JsonlSink, MinerSink, NullSink, Phase, ProgressSink,
-    PruneKind, RecordingSink, Tee, TraceEvent,
+    PruneKind, RecordingSink, ShardableSink, ShardedSink, Tee, TraceEvent,
 };

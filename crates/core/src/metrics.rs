@@ -36,7 +36,7 @@ use utdb::Item;
 use crate::config::MinerConfig;
 use crate::result::MiningOutcome;
 use crate::stats::MinerStats;
-use crate::trace::{CountingSink, FcpEvalKind, MinerSink, Phase, PruneKind};
+use crate::trace::{CountingSink, FcpEvalKind, MinerSink, Phase, PruneKind, ShardableSink};
 
 /// Sub-buckets per power of two: bucket boundaries grow by `2^(1/8)`.
 const SUB_BUCKETS: i64 = 8;
@@ -541,6 +541,37 @@ impl HistogramSink {
     }
 }
 
+impl HistogramSink {
+    /// Merge another sink's observations into this one: counters via
+    /// [`CountingSink::merge`], every distribution bucket-wise via
+    /// [`Histogram::merge`] (both exact, associative and commutative),
+    /// plus `elapsed`/`runs`. The in-flight `last_node` instant stays
+    /// local — cross-shard node gaps are not node latencies.
+    pub fn merge(&mut self, other: &HistogramSink) {
+        self.counts.merge(&other.counts);
+        self.node_latency.merge(&other.node_latency);
+        self.node_depth.merge(&other.node_depth);
+        for (mine, theirs) in self.phase.iter_mut().zip(other.phase.iter()) {
+            mine.merge(theirs);
+        }
+        self.approx_fcp_samples.merge(&other.approx_fcp_samples);
+        self.fcp_bound_width.merge(&other.fcp_bound_width);
+        self.freq_prob.merge(&other.freq_prob);
+        self.elapsed += other.elapsed;
+        self.runs += other.runs;
+    }
+}
+
+impl ShardableSink for HistogramSink {
+    type Shard = HistogramSink;
+    fn make_shard(&self) -> HistogramSink {
+        HistogramSink::new()
+    }
+    fn absorb_shard(&mut self, shard: HistogramSink) {
+        self.merge(&shard);
+    }
+}
+
 impl MinerSink for HistogramSink {
     fn run_started(&mut self, _algo: &str, _config: &MinerConfig) {
         // Gaps across run boundaries are not node latencies.
@@ -743,6 +774,42 @@ mod tests {
         assert!((width.max() - 0.4).abs() < 1e-12);
         // Empty distributions are omitted from the snapshot.
         assert!(reg.get_histogram("phase_fcp_exact_s").is_none());
+    }
+
+    #[test]
+    fn histogram_sink_shards_reconcile_to_single_sink_counters() {
+        // Drive the same event stream through one sink and through two
+        // shards; everything except wall-clock-derived node latencies
+        // must match exactly.
+        let drive = |sink: &mut HistogramSink, base: u64| {
+            sink.node_entered(base as usize % 4 + 1);
+            sink.prune_fired(PruneKind::ALL[base as usize % 5]);
+            sink.freq_prob_evaluated(0.5);
+            sink.fcp_bounds(0.2, 0.8);
+            sink.fcp_evaluated(FcpEvalKind::Sampled, 100 + base);
+            sink.phase_end(Phase::FreqDp, Duration::from_nanos(10 + base));
+        };
+        let mut single = HistogramSink::new();
+        drive(&mut single, 0);
+        drive(&mut single, 1);
+
+        let mut sharded = HistogramSink::new();
+        let mut a = sharded.make_shard();
+        let mut b = sharded.make_shard();
+        drive(&mut a, 0);
+        drive(&mut b, 1);
+        sharded.absorb_shard(a);
+        sharded.absorb_shard(b);
+
+        assert_eq!(single.counts.stats, sharded.counts.stats);
+        assert_eq!(single.counts.timers, sharded.counts.timers);
+        assert_eq!(single.node_depth, sharded.node_depth);
+        assert_eq!(single.approx_fcp_samples, sharded.approx_fcp_samples);
+        assert_eq!(single.fcp_bound_width, sharded.fcp_bound_width);
+        assert_eq!(single.freq_prob, sharded.freq_prob);
+        for p in Phase::ALL {
+            assert_eq!(single.phase[p.index()], sharded.phase[p.index()]);
+        }
     }
 
     proptest! {

@@ -26,8 +26,10 @@ use utdb::{Item, TidSet, UncertainDatabase};
 
 use crate::config::{MinerConfig, SearchStrategy};
 use crate::evaluator::Evaluator;
+use crate::par;
 use crate::result::{MiningOutcome, Pfci};
-use crate::trace::{timed, MinerSink, NullSink, Phase, PruneKind};
+use crate::stats::{MinerStats, PhaseTimers};
+use crate::trace::{timed, MinerSink, NullSink, Phase, PruneKind, ShardableSink, ShardedSink};
 
 /// Mine all probabilistic frequent closed itemsets with the configured
 /// search strategy.
@@ -36,7 +38,12 @@ pub fn mine(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
 }
 
 /// [`mine`], observed by `sink` (see [`crate::trace`]).
-pub fn mine_with<S: MinerSink + ?Sized>(
+///
+/// The DFS path can fan out over worker threads
+/// ([`MinerConfig::threads`]), so the sink must be [`ShardableSink`];
+/// every provided sink (and their `Tee`/`Option`/`&mut` compositions)
+/// is.
+pub fn mine_with<S: ShardableSink + ?Sized>(
     db: &UncertainDatabase,
     config: &MinerConfig,
     sink: &mut S,
@@ -53,12 +60,35 @@ pub fn mine_dfs(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
 }
 
 /// [`mine_dfs`], observed by `sink` (see [`crate::trace`]).
-pub fn mine_dfs_with<S: MinerSink + ?Sized>(
+///
+/// With [`MinerConfig::effective_threads`] > 1, the first-level subtree
+/// roots fan out over a work-stealing pool ([`crate::par`]); results,
+/// stats, timers and sink shards are merged deterministically in
+/// canonical item order at the join barrier. Exact-mode output is
+/// bit-identical to the sequential run for every thread count;
+/// sampled-mode output is a pure function of `(seed, threads)` (and in
+/// fact of `seed` alone for any `threads ≥ 2`, since each root owns a
+/// seed-derived RNG stream). `threads = 1` runs the legacy sequential
+/// code byte-identically.
+pub fn mine_dfs_with<S: ShardableSink + ?Sized>(
     db: &UncertainDatabase,
     config: &MinerConfig,
     sink: &mut S,
 ) -> MiningOutcome {
     config.validate();
+    let threads = config.effective_threads();
+    if threads <= 1 {
+        return mine_dfs_sequential(db, config, sink);
+    }
+    mine_dfs_parallel(db, config, sink, threads)
+}
+
+/// The pre-parallelism single-threaded miner, byte-for-byte.
+fn mine_dfs_sequential<S: MinerSink + ?Sized>(
+    db: &UncertainDatabase,
+    config: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
     sink.run_started("dfs", config);
     let start = Instant::now();
     let deadline = config.time_budget.map(|b| start + b);
@@ -73,11 +103,7 @@ pub fn mine_dfs_with<S: MinerSink + ?Sized>(
     // Phase 1 (Fig. 1): candidate set of probabilistic frequent single
     // items; each then roots a depth-first enumeration.
     for id in 0..db.num_items() as u32 {
-        let item = Item(id);
-        let tids = db.tidset_of(item).clone();
-        if let Some(pr_f) = miner.qualify(&tids) {
-            miner.process_node(&mut vec![item], &tids, pr_f);
-        }
+        miner.mine_root(Item(id));
     }
 
     let DfsMiner {
@@ -104,6 +130,76 @@ pub fn mine_dfs_with<S: MinerSink + ?Sized>(
     outcome
 }
 
+/// First-level fan-out: each root item's subtree is one task on the
+/// work-stealing pool, observed through a private sink shard. The
+/// barrier then reconciles shards/results/stats/timers in root-id order,
+/// so aggregate sinks see exactly the sequential event stream (in exact
+/// mode) and the result set is sorted identically to the sequential
+/// path.
+fn mine_dfs_parallel<S: ShardableSink + ?Sized>(
+    db: &UncertainDatabase,
+    config: &MinerConfig,
+    sink: &mut S,
+    threads: usize,
+) -> MiningOutcome {
+    sink.run_started("dfs", config);
+    let start = Instant::now();
+    let deadline = config.time_budget.map(|b| start + b);
+    // Workers run the sequential evaluator (no nested fan-out); each
+    // root derives its own RNG stream from the run seed, making sampled
+    // estimates independent of scheduling and of the worker count.
+    let worker_cfg = config.clone().with_threads(1);
+
+    let mut sharded = ShardedSink::new(sink);
+    let roots: Vec<(u32, S::Shard)> = (0..db.num_items() as u32)
+        .map(|id| (id, sharded.shard()))
+        .collect();
+
+    let worker_cfg = &worker_cfg;
+    let per_root = par::scatter(threads, roots, |_, (id, mut shard)| {
+        let mut cfg = worker_cfg.clone();
+        cfg.seed = par::mix_seed(worker_cfg.seed, u64::from(id));
+        let mut miner = DfsMiner {
+            evaluator: Evaluator::new(db, &cfg, &mut shard),
+            scratch: FreqProbScratch::new(),
+            results: Vec::new(),
+            deadline,
+            timed_out: false,
+        };
+        miner.mine_root(Item(id));
+        let DfsMiner {
+            evaluator,
+            results,
+            timed_out,
+            ..
+        } = miner;
+        let Evaluator { stats, timers, .. } = evaluator;
+        (shard, results, stats, timers, timed_out)
+    });
+
+    let mut stats = MinerStats::default();
+    let mut timers = PhaseTimers::default();
+    let mut results = Vec::new();
+    let mut timed_out = false;
+    for (shard, root_results, root_stats, root_timers, root_timed_out) in per_root {
+        sharded.absorb(shard);
+        stats.absorb(&root_stats);
+        timers.absorb(&root_timers);
+        results.extend(root_results);
+        timed_out |= root_timed_out;
+    }
+    results.sort_by(|a, b| a.items.cmp(&b.items));
+    let outcome = MiningOutcome {
+        results,
+        stats,
+        timers,
+        elapsed: start.elapsed(),
+        timed_out,
+    };
+    sharded.parent().run_finished(&outcome);
+    outcome
+}
+
 struct DfsMiner<'a, S: MinerSink + ?Sized> {
     evaluator: Evaluator<'a, S>,
     scratch: FreqProbScratch,
@@ -113,6 +209,17 @@ struct DfsMiner<'a, S: MinerSink + ?Sized> {
 }
 
 impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
+    /// Qualify `item` as a subtree root and, when it survives, mine its
+    /// whole depth-first subtree. One call per database item; both the
+    /// sequential and the parallel driver funnel through here so the two
+    /// paths perform identical per-root work.
+    fn mine_root(&mut self, item: Item) {
+        let tids = self.evaluator.db.tidset_of(item).clone();
+        if let Some(pr_f) = self.qualify(&tids) {
+            self.process_node(&mut vec![item], &tids, pr_f);
+        }
+    }
+
     /// Is the itemset with tid-set `tids` a probabilistic frequent
     /// itemset? Returns its exact frequent probability when it is.
     /// Applies the Chernoff–Hoeffding refutation first when enabled.

@@ -1,0 +1,301 @@
+//! Dependency-free fork-join parallelism: a std-only scoped thread pool
+//! with per-worker deques and work stealing.
+//!
+//! PR 1 deliberately vendored every dependency in-tree (crossbeam and
+//! parking_lot were replaced with std), so the miner's parallel phases
+//! are built on nothing but [`std::thread::scope`] and [`std::sync::Mutex`].
+//! The pool is *fork-join*: [`scatter`] takes a static set of tasks,
+//! distributes them round-robin over per-worker deques, lets idle workers
+//! steal from the back of their neighbours' deques, and returns every
+//! result **in submission order**. Because the task set is static (tasks
+//! never spawn tasks), a worker whose own deque is empty and whose steal
+//! sweep comes up empty can simply exit — there is no blocking wait and
+//! therefore no deadlock, regardless of oversubscription.
+//!
+//! Determinism contract: the *assignment* of tasks to workers is
+//! nondeterministic (that is the point of stealing), but the returned
+//! `Vec` is always indexed by submission order, and each task only sees
+//! its own index — so a caller that derives any per-task randomness from
+//! the task index (see [`mix_seed`]) gets results that are independent of
+//! the stealing schedule and of the worker count.
+//!
+//! Panic contract: a panicking task aborts the scatter — the first
+//! panic's original payload is captured and re-raised on the calling
+//! thread after the scope joins, instead of hanging the pool, silently
+//! dropping tasks, or degrading into std's generic "a scoped thread
+//! panicked" message.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Number of hardware threads, with a fallback of 1 when the platform
+/// cannot tell ([`std::thread::available_parallelism`] errors).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Lock a mutex, ignoring poisoning: the pool's own critical sections
+/// never panic, so a poisoned lock only means some *task* panicked on
+/// another worker — the data under the lock is still consistent and the
+/// panic itself propagates when the scope joins.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Derive an independent, well-mixed RNG seed for stream `stream` of a
+/// run seeded with `seed` (splitmix64-style finalizer). Used to give
+/// each DFS root subtree its own reproducible random stream: the result
+/// depends only on `(seed, stream)`, never on thread count or schedule.
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Split `total` into at most `parts` near-equal positive chunk sizes
+/// (the first `total % parts` chunks get the extra unit). The sizes sum
+/// to `total`; fewer than `parts` chunks are returned when `total` is
+/// smaller than `parts`. Empty when either argument is zero.
+pub fn chunk_sizes(total: usize, parts: usize) -> Vec<usize> {
+    if total == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(total);
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Run `f` over every item on up to `threads` workers and return the
+/// results in submission order.
+///
+/// Tasks are dealt round-robin onto per-worker deques; each worker pops
+/// its own deque front-first (preserving locality and rough submission
+/// order) and steals from the back of the other deques once its own runs
+/// dry. The calling thread participates as worker 0, so `threads == 1`
+/// (or a single item) degenerates to a plain in-order loop with no
+/// threads spawned, no locks taken and no allocation beyond the result
+/// vector.
+///
+/// # Panics
+///
+/// Re-raises the first panicking task's original payload after all
+/// workers stop (no task is silently lost; the other workers notice the
+/// panic and bail out at their next dequeue).
+pub fn scatter<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let workers = threads.min(n);
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, t) in items.into_iter().enumerate() {
+        lock(&queues[i % workers]).push_back((i, t));
+    }
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    {
+        let queues = &queues;
+        let results = &results;
+        let f = &f;
+        let panicked = &panicked;
+        std::thread::scope(|scope| {
+            for me in 1..workers {
+                scope.spawn(move || run_worker(me, queues, results, f, panicked));
+            }
+            run_worker(0, queues, results, f, panicked);
+        });
+    }
+    if let Some(payload) = lock(&panicked).take() {
+        resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|slot| {
+            lock(&slot)
+                .take()
+                .expect("every scattered task produces exactly one result")
+        })
+        .collect()
+}
+
+fn run_worker<T, R, F>(
+    me: usize,
+    queues: &[Mutex<VecDeque<(usize, T)>>],
+    results: &[Mutex<Option<R>>],
+    f: &F,
+    panicked: &Mutex<Option<Box<dyn Any + Send>>>,
+) where
+    F: Fn(usize, T) -> R,
+{
+    let workers = queues.len();
+    loop {
+        // Another worker's task panicked: the scatter is aborted anyway,
+        // so stop pulling work.
+        if lock(panicked).is_some() {
+            return;
+        }
+        // Own deque first (front: submission order), then one steal sweep
+        // over the neighbours (back: the work least likely to be touched
+        // by its owner soon). The own-deque guard must drop before the
+        // sweep starts — holding it while locking a neighbour's deque
+        // would let two workers deadlock on each other's queues.
+        let own = lock(&queues[me]).pop_front();
+        let task =
+            own.or_else(|| (1..workers).find_map(|d| lock(&queues[(me + d) % workers]).pop_back()));
+        match task {
+            Some((i, t)) => match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                Ok(r) => {
+                    *lock(&results[i]) = Some(r);
+                }
+                Err(payload) => {
+                    let mut slot = lock(panicked);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    return;
+                }
+            },
+            // All deques empty: the task set is static, so nothing new
+            // can ever appear — exit instead of spinning.
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scatter_preserves_submission_order() {
+        for threads in [1, 2, 4, 7, 64] {
+            let items: Vec<usize> = (0..37).collect();
+            let out = scatter(threads, items, |i, x| {
+                assert_eq!(i, x);
+                x * 10
+            });
+            assert_eq!(out, (0..37).map(|x| x * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(scatter(4, empty, |_, x: u32| x).is_empty());
+        assert_eq!(scatter(4, vec![9u32], |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn scatter_runs_every_task_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let out = scatter(5, (0..100u64).collect(), |_, x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out.iter().sum::<u64>(), 4950);
+    }
+
+    #[test]
+    fn panics_propagate_instead_of_hanging() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scatter(4, (0..64usize).collect(), |_, x| {
+                if x == 13 {
+                    panic!("boom from task 13");
+                }
+                x
+            })
+        }));
+        let err = result.expect_err("task panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected panic payload: {msg:?}");
+    }
+
+    #[test]
+    fn panics_propagate_from_sequential_path_too() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scatter(1, vec![0usize], |_, _| -> usize { panic!("seq boom") })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn chunk_sizes_edge_cases() {
+        assert!(chunk_sizes(0, 4).is_empty());
+        assert!(chunk_sizes(10, 0).is_empty());
+        assert_eq!(chunk_sizes(10, 3), vec![4, 3, 3]);
+        assert_eq!(chunk_sizes(3, 10), vec![1, 1, 1]);
+        assert_eq!(chunk_sizes(8, 4), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn mix_seed_depends_on_both_inputs() {
+        assert_ne!(mix_seed(1, 0), mix_seed(1, 1));
+        assert_ne!(mix_seed(0, 7), mix_seed(1, 7));
+        assert_eq!(mix_seed(42, 3), mix_seed(42, 3));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary task-set sizes and worker counts: no task is lost or
+        /// duplicated under stealing, and results stay in order.
+        #[test]
+        fn no_loss_no_duplication(
+            n in 0usize..200,
+            threads in 1usize..16,
+        ) {
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let out = scatter(threads, (0..n).collect(), |i, x| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                prop_assert_eq!(i, x);
+                Ok(x)
+            });
+            prop_assert_eq!(out.len(), n);
+            for (i, r) in out.into_iter().enumerate() {
+                prop_assert_eq!(r?, i);
+            }
+            for h in &hits {
+                prop_assert_eq!(h.load(Ordering::Relaxed), 1);
+            }
+        }
+
+        /// Chunk sizes always partition the total into near-equal parts.
+        #[test]
+        fn chunks_partition_the_total(total in 0usize..10_000, parts in 0usize..64) {
+            let chunks = chunk_sizes(total, parts);
+            if total > 0 && parts > 0 {
+                prop_assert_eq!(chunks.iter().sum::<usize>(), total);
+                prop_assert!(chunks.len() == parts.min(total));
+                let (min, max) = (chunks.iter().min().unwrap(), chunks.iter().max().unwrap());
+                prop_assert!(max - min <= 1);
+                prop_assert!(*min >= 1);
+            } else {
+                prop_assert!(chunks.is_empty());
+            }
+        }
+    }
+}

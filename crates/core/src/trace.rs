@@ -249,6 +249,34 @@ pub trait MinerSink {
     fn run_finished(&mut self, outcome: &MiningOutcome) {}
 }
 
+/// A [`MinerSink`] that can hand out private per-worker *shards* and
+/// reconcile them back — the bridge between the single-threaded sink API
+/// and the parallel miner.
+///
+/// The parallel DFS fan-out creates one shard per unit of work on the
+/// caller thread ([`ShardableSink::make_shard`]), moves each shard into
+/// its worker, and at the join barrier absorbs them back **in canonical
+/// (submission) order** via [`ShardableSink::absorb_shard`]. A shard is
+/// a plain owned sink, so workers record without locks; because
+/// absorption is ordered, aggregate sinks (counting, histograms, JSONL
+/// replay) end up exactly as if one sink had observed a sequential run
+/// in that canonical order.
+///
+/// Implementations must make `absorb_shard(make_shard() + events)`
+/// equivalent to observing those events directly, so that sharded
+/// recording reconciles with single-sink recording (enforced by
+/// proptests in this module and `tests/parallel_equivalence.rs`).
+pub trait ShardableSink: MinerSink {
+    /// The private per-worker sink type.
+    type Shard: MinerSink + Send;
+
+    /// Create an empty shard to hand to one worker.
+    fn make_shard(&self) -> Self::Shard;
+
+    /// Merge a finished shard's observations back into this sink.
+    fn absorb_shard(&mut self, shard: Self::Shard);
+}
+
 macro_rules! forward_sink {
     ($ty:ty) => {
         impl<S: MinerSink + ?Sized> MinerSink for $ty {
@@ -291,6 +319,38 @@ macro_rules! forward_sink {
 
 forward_sink!(&mut S);
 forward_sink!(Box<S>);
+
+impl<S: ShardableSink + ?Sized> ShardableSink for &mut S {
+    type Shard = S::Shard;
+    fn make_shard(&self) -> S::Shard {
+        (**self).make_shard()
+    }
+    fn absorb_shard(&mut self, shard: S::Shard) {
+        (**self).absorb_shard(shard);
+    }
+}
+
+impl<S: ShardableSink + ?Sized> ShardableSink for Box<S> {
+    type Shard = S::Shard;
+    fn make_shard(&self) -> S::Shard {
+        (**self).make_shard()
+    }
+    fn absorb_shard(&mut self, shard: S::Shard) {
+        (**self).absorb_shard(shard);
+    }
+}
+
+impl<S: ShardableSink> ShardableSink for Option<S> {
+    type Shard = Option<S::Shard>;
+    fn make_shard(&self) -> Option<S::Shard> {
+        self.as_ref().map(ShardableSink::make_shard)
+    }
+    fn absorb_shard(&mut self, shard: Option<S::Shard>) {
+        if let (Some(s), Some(shard)) = (self.as_mut(), shard) {
+            s.absorb_shard(shard);
+        }
+    }
+}
 
 /// `Option<S>` is a sink that forwards when `Some` and discards when
 /// `None` — the natural shape for optionally-attached observers
@@ -364,6 +424,14 @@ impl MinerSink for NullSink {
     }
 }
 
+impl ShardableSink for NullSink {
+    type Shard = NullSink;
+    fn make_shard(&self) -> NullSink {
+        NullSink
+    }
+    fn absorb_shard(&mut self, _shard: NullSink) {}
+}
+
 /// Fans every event out to two sinks (nest for more).
 #[derive(Debug, Default)]
 pub struct Tee<A, B>(pub A, pub B);
@@ -411,6 +479,17 @@ impl<A: MinerSink, B: MinerSink> MinerSink for Tee<A, B> {
     fn run_finished(&mut self, outcome: &MiningOutcome) {
         self.0.run_finished(outcome);
         self.1.run_finished(outcome);
+    }
+}
+
+impl<A: ShardableSink, B: ShardableSink> ShardableSink for Tee<A, B> {
+    type Shard = Tee<A::Shard, B::Shard>;
+    fn make_shard(&self) -> Tee<A::Shard, B::Shard> {
+        Tee(self.0.make_shard(), self.1.make_shard())
+    }
+    fn absorb_shard(&mut self, shard: Tee<A::Shard, B::Shard>) {
+        self.0.absorb_shard(shard.0);
+        self.1.absorb_shard(shard.1);
     }
 }
 
@@ -702,6 +781,25 @@ pub struct RecordingSink {
     pub events: Vec<TraceEvent>,
 }
 
+impl RecordingSink {
+    /// Append another recording's events after this one's (the sharded
+    /// reconciliation: shards absorbed in canonical order reproduce the
+    /// sequential event stream).
+    pub fn merge(&mut self, other: RecordingSink) {
+        self.events.extend(other.events);
+    }
+}
+
+impl ShardableSink for RecordingSink {
+    type Shard = RecordingSink;
+    fn make_shard(&self) -> RecordingSink {
+        RecordingSink::default()
+    }
+    fn absorb_shard(&mut self, shard: RecordingSink) {
+        self.merge(shard);
+    }
+}
+
 impl MinerSink for RecordingSink {
     fn run_started(&mut self, algo: &str, config: &MinerConfig) {
         self.events.push(TraceEvent::RunStart {
@@ -783,6 +881,16 @@ pub struct CountingSink {
 }
 
 impl CountingSink {
+    /// Merge another counting sink's totals into this one. Plain
+    /// componentwise addition, so the merge is associative and
+    /// commutative — sharded reconciliation equals single-sink recording
+    /// regardless of how the events were split (proptested below).
+    pub fn merge(&mut self, other: &CountingSink) {
+        self.stats.absorb(&other.stats);
+        self.timers.absorb(&other.timers);
+        self.results_emitted += other.results_emitted;
+    }
+
     /// Apply one owned event (e.g. parsed back from a JSONL trace) to the
     /// counters, exactly as the live callbacks would.
     pub fn absorb_event(&mut self, event: &TraceEvent) {
@@ -834,6 +942,16 @@ impl MinerSink for CountingSink {
     }
     fn phase_end(&mut self, phase: Phase, elapsed: Duration) {
         self.timers.add(phase, elapsed);
+    }
+}
+
+impl ShardableSink for CountingSink {
+    type Shard = CountingSink;
+    fn make_shard(&self) -> CountingSink {
+        CountingSink::default()
+    }
+    fn absorb_shard(&mut self, shard: CountingSink) {
+        self.merge(&shard);
     }
 }
 
@@ -956,6 +1074,24 @@ impl<W: Write> MinerSink for JsonlSink<W> {
     }
 }
 
+/// Workers buffer their events as a [`RecordingSink`]; absorbing a shard
+/// replays the buffer through [`JsonlSink::record`] on the owner thread,
+/// which naturally preserves the latched-error semantics: once a write
+/// fails, later replays (from this or any later shard) are discarded and
+/// the error stays latched for [`JsonlSink::has_error`] /
+/// [`JsonlSink::take_error`] / [`JsonlSink::finish`].
+impl<W: Write> ShardableSink for JsonlSink<W> {
+    type Shard = RecordingSink;
+    fn make_shard(&self) -> RecordingSink {
+        RecordingSink::default()
+    }
+    fn absorb_shard(&mut self, shard: RecordingSink) {
+        for event in &shard.events {
+            self.record(event);
+        }
+    }
+}
+
 /// Throttled stderr heartbeat: every `interval` (default 500 ms, checked
 /// on node entry) it prints one line with elapsed time versus the
 /// configured budget, node throughput, the pruning mix and the running
@@ -1051,6 +1187,63 @@ impl MinerSink for ProgressSink {
     }
     fn run_finished(&mut self, outcome: &MiningOutcome) {
         eprintln!("{} (done)", self.heartbeat(outcome.elapsed));
+    }
+}
+
+/// Workers count privately; absorbing folds the counters in (indices of
+/// `pruned` follow [`PruneKind::ALL`]) and gives the throttle a chance
+/// to emit a heartbeat at the reconciliation points.
+impl ShardableSink for ProgressSink {
+    type Shard = CountingSink;
+    fn make_shard(&self) -> CountingSink {
+        CountingSink::default()
+    }
+    fn absorb_shard(&mut self, shard: CountingSink) {
+        self.nodes += shard.stats.nodes_visited;
+        self.results += shard.results_emitted;
+        self.pruned[0] += shard.stats.ch_pruned;
+        self.pruned[1] += shard.stats.freq_pruned;
+        self.pruned[2] += shard.stats.superset_pruned;
+        self.pruned[3] += shard.stats.subset_pruned;
+        self.pruned[4] += shard.stats.bound_rejected;
+        self.samples += shard.stats.samples_drawn;
+        let now = Instant::now();
+        if now.duration_since(self.last_report) >= self.interval {
+            self.last_report = now;
+            eprintln!("{}", self.heartbeat(now.duration_since(self.started)));
+        }
+    }
+}
+
+/// Thin adapter over a [`ShardableSink`] used by the parallel miner: it
+/// holds the user's sink for the duration of the fan-out, hands out one
+/// private shard per task, and absorbs finished shards **in canonical
+/// order** at the join barrier.
+#[derive(Debug)]
+pub struct ShardedSink<'a, S: ShardableSink + ?Sized> {
+    parent: &'a mut S,
+}
+
+impl<'a, S: ShardableSink + ?Sized> ShardedSink<'a, S> {
+    /// Wrap the user's sink for a fan-out.
+    pub fn new(parent: &'a mut S) -> Self {
+        Self { parent }
+    }
+
+    /// Create an empty private shard for one task.
+    pub fn shard(&self) -> S::Shard {
+        self.parent.make_shard()
+    }
+
+    /// Reconcile one finished shard. Call in canonical task order.
+    pub fn absorb(&mut self, shard: S::Shard) {
+        self.parent.absorb_shard(shard);
+    }
+
+    /// Access the underlying sink (for run-level events that fire once,
+    /// outside any shard).
+    pub fn parent(&mut self) -> &mut S {
+        self.parent
     }
 }
 
@@ -1261,6 +1454,200 @@ mod tests {
         assert_eq!(tee.1.events.len(), 2);
         assert!(tee.is_enabled());
         assert!(!NullSink.is_enabled());
+    }
+
+    /// Map a code to a miner event, exercised against live sinks.
+    fn fire(code: u8, sink: &mut impl MinerSink) {
+        match code % 8 {
+            0 => sink.node_entered(usize::from(code) % 5 + 1),
+            1 => sink.prune_fired(PruneKind::ALL[usize::from(code) % PruneKind::ALL.len()]),
+            2 => sink.freq_prob_evaluated(f64::from(code) / 255.0),
+            3 => sink.fcp_bounds(0.1, 0.9),
+            4 => sink.fcp_evaluated(FcpEvalKind::Exact, 0),
+            5 => sink.fcp_evaluated(FcpEvalKind::Sampled, u64::from(code) * 10),
+            6 => sink.result_emitted(&[Item(u32::from(code))], 0.5),
+            _ => sink.phase_end(
+                Phase::ALL[usize::from(code) % Phase::COUNT],
+                Duration::from_nanos(u64::from(code)),
+            ),
+        }
+    }
+
+    #[test]
+    fn sharded_jsonl_replays_in_order_and_keeps_latched_errors() {
+        // Happy path: two shards absorbed in order reproduce the exact
+        // byte stream of direct recording.
+        let mut direct = JsonlSink::new(Vec::new());
+        let mut sharded = JsonlSink::new(Vec::new());
+        let mut shard_a = sharded.make_shard();
+        let mut shard_b = sharded.make_shard();
+        for code in 0u8..10 {
+            fire(code, &mut direct);
+            fire(code, &mut shard_a);
+        }
+        for code in 10u8..20 {
+            fire(code, &mut direct);
+            fire(code, &mut shard_b);
+        }
+        sharded.absorb_shard(shard_a);
+        sharded.absorb_shard(shard_b);
+        assert_eq!(direct.lines_written(), sharded.lines_written());
+        let a = direct.finish().expect("vec writes");
+        let b = sharded.finish().expect("vec writes");
+        assert_eq!(a, b);
+
+        // Failing writer: the error latches mid-replay and later shards
+        // are discarded, not written out of order.
+        let mut failing = JsonlSink::new(FailAfter {
+            ok_writes: 2,
+            sunk: Vec::new(),
+        });
+        let mut shard = failing.make_shard();
+        for code in 0u8..10 {
+            fire(code, &mut shard);
+        }
+        failing.absorb_shard(shard);
+        assert!(failing.has_error());
+        let written_after_first = failing.lines_written();
+        let mut late = failing.make_shard();
+        fire(0, &mut late);
+        failing.absorb_shard(late);
+        assert_eq!(failing.lines_written(), written_after_first);
+        let err = failing.finish().expect_err("latched error must surface");
+        assert_eq!(err.to_string(), "disk full");
+    }
+
+    #[test]
+    fn progress_shard_reconciles_counters() {
+        let mut progress = ProgressSink::new().with_interval(Duration::from_secs(3600));
+        let mut shard = progress.make_shard();
+        shard.node_entered(1);
+        shard.node_entered(2);
+        shard.prune_fired(PruneKind::Subset);
+        shard.fcp_evaluated(FcpEvalKind::Sampled, 123);
+        shard.result_emitted(&[Item(0)], 0.9);
+        progress.absorb_shard(shard);
+        assert_eq!(progress.nodes, 2);
+        assert_eq!(progress.results, 1);
+        assert_eq!(progress.pruned, [0, 0, 0, 1, 0]);
+        assert_eq!(progress.samples, 123);
+    }
+
+    #[test]
+    fn sharded_sink_adapter_round_trips() {
+        let mut counting = CountingSink::default();
+        {
+            let mut sharded = ShardedSink::new(&mut counting);
+            let mut a = sharded.shard();
+            let mut b = sharded.shard();
+            a.node_entered(1);
+            b.node_entered(2);
+            b.prune_fired(PruneKind::FreqProb);
+            sharded.absorb(a);
+            sharded.absorb(b);
+            sharded.parent().node_entered(3);
+        }
+        assert_eq!(counting.stats.nodes_visited, 3);
+        assert_eq!(counting.stats.freq_pruned, 1);
+    }
+
+    #[test]
+    fn option_and_tee_shards_compose() {
+        let mut sink = Tee(Some(CountingSink::default()), RecordingSink::default());
+        let mut shard = sink.make_shard();
+        shard.node_entered(1);
+        shard.prune_fired(PruneKind::Superset);
+        sink.absorb_shard(shard);
+        assert_eq!(sink.0.as_ref().unwrap().stats.nodes_visited, 1);
+        assert_eq!(sink.0.as_ref().unwrap().stats.superset_pruned, 1);
+        assert_eq!(sink.1.events.len(), 2);
+
+        let mut none: Option<CountingSink> = None;
+        let shard = none.make_shard();
+        assert!(shard.is_none());
+        none.absorb_shard(shard);
+        assert!(none.is_none());
+    }
+
+    mod merge_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn counting_from(codes: &[u8]) -> CountingSink {
+            let mut s = CountingSink::default();
+            for &c in codes {
+                fire(c, &mut s);
+            }
+            s
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// `CountingSink::merge` is commutative and associative, so
+            /// any shard reconciliation order yields the single-sink
+            /// totals.
+            #[test]
+            fn counting_merge_is_commutative_and_associative(
+                a in proptest::collection::vec(0u8..=255, 0..40),
+                b in proptest::collection::vec(0u8..=255, 0..40),
+                c in proptest::collection::vec(0u8..=255, 0..40),
+            ) {
+                let (sa, sb, sc) = (counting_from(&a), counting_from(&b), counting_from(&c));
+                // Commutativity.
+                let mut ab = sa;
+                ab.merge(&sb);
+                let mut ba = sb;
+                ba.merge(&sa);
+                prop_assert_eq!(ab.stats, ba.stats);
+                prop_assert_eq!(ab.timers, ba.timers);
+                prop_assert_eq!(ab.results_emitted, ba.results_emitted);
+                // Associativity.
+                let mut ab_c = ab;
+                ab_c.merge(&sc);
+                let mut bc = sb;
+                bc.merge(&sc);
+                let mut a_bc = sa;
+                a_bc.merge(&bc);
+                prop_assert_eq!(ab_c.stats, a_bc.stats);
+                prop_assert_eq!(ab_c.timers, a_bc.timers);
+                prop_assert_eq!(ab_c.results_emitted, a_bc.results_emitted);
+            }
+
+            /// Splitting an event stream into shards at an arbitrary
+            /// point and reconciling equals observing it with one sink —
+            /// for counters (any order) and recordings (split order).
+            #[test]
+            fn sharded_reconciliation_equals_single_sink(
+                codes in proptest::collection::vec(0u8..=255, 0..80),
+                split_at in 0usize..81,
+            ) {
+                let split = split_at.min(codes.len());
+                let single = counting_from(&codes);
+                let mut sharded = CountingSink::default();
+                sharded.absorb_shard(counting_from(&codes[..split]));
+                sharded.absorb_shard(counting_from(&codes[split..]));
+                prop_assert_eq!(single.stats, sharded.stats);
+                prop_assert_eq!(single.timers, sharded.timers);
+                prop_assert_eq!(single.results_emitted, sharded.results_emitted);
+
+                let mut rec_single = RecordingSink::default();
+                for &c in &codes {
+                    fire(c, &mut rec_single);
+                }
+                let mut rec_sharded = RecordingSink::default();
+                let (mut sh_a, mut sh_b) = (rec_sharded.make_shard(), rec_sharded.make_shard());
+                for &c in &codes[..split] {
+                    fire(c, &mut sh_a);
+                }
+                for &c in &codes[split..] {
+                    fire(c, &mut sh_b);
+                }
+                rec_sharded.absorb_shard(sh_a);
+                rec_sharded.absorb_shard(sh_b);
+                prop_assert_eq!(rec_single.events, rec_sharded.events);
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub use approximations::{
 };
 pub use cond_sample::ConditionalBernoulliSampler;
 pub use dnf::{
-    karp_luby_union, karp_luby_union_adaptive, AdaptiveEstimate, KarpLubyEstimate, UnionEventSystem,
+    karp_luby_union, karp_luby_union_adaptive, karp_luby_union_with_samples, AdaptiveEstimate,
+    KarpLubyEstimate, UnionEventSystem,
 };
 pub use gauss::{clamped_gaussian, standard_normal};
 pub use hoeffding::{hoeffding_infrequent, hoeffding_tail_upper};

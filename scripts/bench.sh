@@ -41,7 +41,9 @@ if [[ $SMOKE == 1 ]]; then
     # Slow cells (Naive at low support) are cut at the budget and land
     # in the report as timed_out — the smoke gate checks the pipeline
     # and the schema, not absolute timings.
-    "${BENCH[@]}" --smoke --label smoke --budget 5 --out-dir "$out"
+    # --threads 2 exercises the work-stealing pool (sharded sinks,
+    # chunked sampling) end-to-end through the report pipeline.
+    "${BENCH[@]}" --smoke --label smoke --budget 5 --threads 2 --out-dir "$out"
     "${BENCH[@]}" --validate "$out/BENCH_smoke.json"
 else
     label="${LABEL:-local}"

@@ -13,6 +13,9 @@ run() {
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test --workspace -q
+# Threads matrix: re-run the workspace suite with the differential
+# tests pinned to an explicit sequential + parallel worker pair.
+run env PFCIM_TEST_THREADS=1,4 cargo test --workspace -q
 run cargo test -p pfcim-core --features track-alloc -q
 run cargo check --benches --workspace
 # Benchmark pipeline smoke: run the tiny matrix end-to-end and

@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] [--epsilon E] [--delta D]
-//!       [--variant mpfci|bfs|naive] [--stats] [--trace FILE.jsonl]
-//!       [--metrics FILE.json]
+//!       [--variant mpfci|bfs|naive] [--threads N] [--stats]
+//!       [--trace FILE.jsonl] [--metrics FILE.json]
 //! ```
+//!
+//! `--threads N` fans the DFS miner and `ApproxFCP` sampling out over an
+//! in-process work-stealing pool. `N = 0` — the default — picks the
+//! machine's available parallelism (overridable via the `PFCIM_THREADS`
+//! environment variable); `N = 1` is the sequential miner. Exact-mode
+//! output is identical for every thread count.
 //!
 //! `--metrics` records the run through a [`HistogramSink`] and writes
 //! the resulting registry snapshot (counters mirroring the miner stats,
@@ -36,6 +42,7 @@ struct Args {
     epsilon: f64,
     delta: f64,
     variant: String,
+    threads: Option<usize>,
     stats: bool,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
@@ -48,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
     let mut epsilon = 0.1;
     let mut delta = 0.1;
     let mut variant = "mpfci".to_owned();
+    let mut threads = None;
     let mut stats = false;
     let mut trace = None;
     let mut metrics = None;
@@ -70,6 +78,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("delta: {e}"))?
             }
             "--variant" => variant = value("--variant")?,
+            "--threads" => {
+                threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("threads: {e}"))?,
+                )
+            }
             "--stats" => stats = true,
             "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
             "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
@@ -85,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
         epsilon,
         delta,
         variant,
+        threads,
         stats,
         trace,
         metrics,
@@ -100,8 +116,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] \
-                 [--epsilon E] [--delta D] [--variant mpfci|bfs|naive] [--stats] \
-                 [--trace FILE.jsonl] [--metrics FILE.json]"
+                 [--epsilon E] [--delta D] [--variant mpfci|bfs|naive] [--threads N] \
+                 [--stats] [--trace FILE.jsonl] [--metrics FILE.json]"
             );
             return ExitCode::from(2);
         }
@@ -139,6 +155,11 @@ fn main() -> ExitCode {
 
     let mut config =
         MinerConfig::new(min_sup, args.pfct).with_approximation(args.epsilon, args.delta);
+    if let Some(threads) = args.threads {
+        // 0 = auto (available parallelism). Unset keeps the config
+        // default (auto, overridable via PFCIM_THREADS).
+        config = config.with_threads(threads);
+    }
     match args.variant.as_str() {
         "mpfci" => {}
         "bfs" => {
