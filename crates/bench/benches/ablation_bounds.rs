@@ -5,8 +5,9 @@
 
 mod common;
 
+use common::mine;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pfcim_core::{mine, FcpMethod, MinerConfig, Variant};
+use pfcim_core::{FcpMethod, MinerConfig, Variant};
 use std::hint::black_box;
 
 fn bench_checking_strategies(c: &mut Criterion) {
@@ -72,7 +73,7 @@ fn bench_estimators(c: &mut Criterion) {
 
     let db = common::quest();
     let x = vec![Item(0), Item(1)];
-    let tids = db.tidset_of_itemset(&x);
+    let tids = db.tidset_of_itemset(&x).into_bitmap();
     let min_sup = db.len() / 5;
     let ext = (0..db.num_items() as u32)
         .map(Item)

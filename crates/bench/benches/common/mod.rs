@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use pfcim_bench::datasets::{abs_min_sup, DatasetKind, Scale};
-use pfcim_core::{FcpMethod, MinerConfig};
+use pfcim_core::{Algorithm, FcpMethod, Miner, MinerConfig, MiningOutcome};
 use utdb::UncertainDatabase;
 
 pub fn mushroom() -> UncertainDatabase {
@@ -22,6 +22,19 @@ pub fn quest() -> UncertainDatabase {
 /// Paper-default config (ApproxFCP checking) at a relative support.
 pub fn paper_cfg(db: &UncertainDatabase, rel: f64, pfct: f64) -> MinerConfig {
     MinerConfig::new(abs_min_sup(db, rel), pfct).with_fcp_method(FcpMethod::ApproxOnly)
+}
+
+/// Run the configured miner (DFS/BFS per `cfg.search`) via the builder.
+pub fn mine(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+    Miner::new(db).config(cfg.clone()).run()
+}
+
+/// Run the Naive baseline via the builder.
+pub fn mine_naive(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+    Miner::new(db)
+        .config(cfg.clone())
+        .algorithm(Algorithm::Naive)
+        .run()
 }
 
 /// Tighten a Criterion group so the whole suite stays fast.

@@ -3,9 +3,10 @@
 
 mod common;
 
+use common::mine;
 use criterion::{criterion_group, criterion_main, Criterion};
 use pfcim_bench::datasets::{abs_min_sup, DatasetKind, Scale};
-use pfcim_core::{mine, MinerConfig};
+use pfcim_core::MinerConfig;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

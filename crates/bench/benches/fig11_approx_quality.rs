@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     let db = common::quest();
     // A two-item prefix with a real event family.
     let x = vec![Item(0), Item(1)];
-    let tids = db.tidset_of_itemset(&x);
+    let tids = db.tidset_of_itemset(&x).into_bitmap();
     let min_sup = db.len() / 5;
     let ext = (0..db.num_items() as u32)
         .map(Item)

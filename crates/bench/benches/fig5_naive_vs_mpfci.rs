@@ -3,8 +3,8 @@
 
 mod common;
 
+use common::{mine, mine_naive};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pfcim_core::{mine, mine_naive};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -2,8 +2,8 @@
 
 mod common;
 
+use common::mine;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pfcim_core::mine;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

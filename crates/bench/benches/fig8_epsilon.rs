@@ -3,8 +3,9 @@
 
 mod common;
 
+use common::mine;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pfcim_core::{mine, Variant};
+use pfcim_core::Variant;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the bitmap/DP kernel layer: word-level
+//! [`TidBitmap`] intersection and the incremental-vs-full frequentness
+//! DP, at tid universes of 1k, 10k and 100k transactions.
+//!
+//! The DP threshold is held at a fixed small `k`: the full rebuild is
+//! `O(N·k)` while the downdate is `O(drops·k)`, so the gap these benches
+//! measure is the `N / drops` factor the DFS miner exploits on child
+//! nodes that drop only a handful of transactions.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prob::TailDp;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use utdb::TidBitmap;
+
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// Frequentness threshold for the DP benches (absolute `min_sup`).
+const K: usize = 64;
+
+/// Transactions a child node drops from its parent's tid-set.
+const DROPS: usize = 8;
+
+fn random_bitmap(n: usize, density: f64, seed: u64) -> TidBitmap {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    TidBitmap::from_tids(n, (0..n).filter(|_| rng.random::<f64>() < density))
+}
+
+fn probs(n: usize) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(9);
+    (0..n).map(|_| 0.05 + 0.9 * rng.random::<f64>()).collect()
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/bitmap");
+    common::tune(&mut group);
+    for n in SIZES {
+        let a = random_bitmap(n, 0.4, 1);
+        let b_map = random_bitmap(n, 0.4, 2);
+        group.bench_with_input(BenchmarkId::new("and_count", n), &n, |b, _| {
+            b.iter(|| black_box(a.and_count(&b_map)))
+        });
+        group.bench_with_input(BenchmarkId::new("and_alloc", n), &n, |b, _| {
+            b.iter(|| black_box(a.and(&b_map)))
+        });
+        group.bench_with_input(BenchmarkId::new("is_subset", n), &n, |b, _| {
+            b.iter(|| black_box(a.is_subset(&b_map)))
+        });
+        group.bench_with_input(BenchmarkId::new("diff_iter", n), &n, |b, _| {
+            b.iter(|| black_box(a.diff_iter(&b_map).sum::<usize>()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/freq_dp");
+    common::tune(&mut group);
+    for n in SIZES {
+        let p = probs(n);
+        let parent = TailDp::from_probs(K, p.iter().copied());
+        // Drop low-probability transactions: `try_remove` refuses p with
+        // p/(1-p) amplification beyond the limit (the miner then falls
+        // back to a rebuild), and this bench measures the downdate path.
+        let dropped_idx: Vec<usize> = p
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v < 0.5)
+            .take(DROPS)
+            .map(|(i, _)| i)
+            .collect();
+        let dropped: Vec<f64> = dropped_idx.iter().map(|&i| p[i]).collect();
+        let survivors: Vec<f64> = p
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dropped_idx.contains(i))
+            .map(|(_, &v)| v)
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("full_rebuild", n), &n, |b, _| {
+            b.iter(|| {
+                let mut dp = TailDp::new(K);
+                for &q in &survivors {
+                    dp.push(q);
+                }
+                black_box(dp.tail())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut dp = parent.clone();
+                for &q in &dropped {
+                    assert!(dp.try_remove(q, 100.0));
+                }
+                black_box(dp.tail())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitmap, bench_incremental_dp);
+criterion_main!(benches);

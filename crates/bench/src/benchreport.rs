@@ -19,10 +19,13 @@ use pfcim_core::HistogramSummary;
 
 /// Schema version stamped into every report. Version 2 added the
 /// top-level `threads` field (the miner worker count the matrix ran
-/// with); version-1 documents are still accepted by
-/// [`BenchReport::from_json`] and read as `threads = 1` — everything
-/// before the parallel miner was sequential.
-pub const SCHEMA_VERSION: u64 = 2;
+/// with); version 3 added the per-entry `kernel` counter map (the
+/// [`pfcim_core::KernelStats`] counters: incremental-vs-recomputed DP
+/// rows, bound-cache hits/misses, bitmap words scanned). Version-1 and
+/// version-2 documents are still accepted by [`BenchReport::from_json`]:
+/// v1 reads as `threads = 1` — everything before the parallel miner was
+/// sequential — and pre-v3 entries read with an empty kernel map.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`BenchReport::from_json`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -342,6 +345,10 @@ pub struct BenchEntry {
     pub phase_s: BTreeMap<String, f64>,
     /// Pruning mix: how many candidates each rule eliminated.
     pub prune: BTreeMap<String, u64>,
+    /// Kernel counters ([`pfcim_core::KernelStats::named`]): incremental
+    /// vs recomputed DP rows, bound-cache hits/misses, bitmap words
+    /// scanned. Empty for pre-v3 reports, which predate the counters.
+    pub kernel: BTreeMap<String, u64>,
     /// Node-to-node latency distribution (seconds).
     pub node_latency: HistogramSummary,
     /// Peak RSS in bytes over the cell (`0` when `/proc` is unreadable;
@@ -375,7 +382,8 @@ impl BenchEntry {
         format!(
             "{{\"dataset\":\"{}\",\"algo\":\"{}\",\"min_sup_rel\":{},\
              \"elapsed_s\":{},\"timed_out\":{},\"nodes\":{},\"nodes_per_s\":{},\
-             \"results\":{},\"phase_s\":{},\"prune\":{},\"node_latency\":{},\
+             \"results\":{},\"phase_s\":{},\"prune\":{},\"kernel\":{},\
+             \"node_latency\":{},\
              \"peak_rss_bytes\":{},\"peak_alloc_bytes\":{},\"allocations\":{}}}",
             self.dataset,
             self.algo,
@@ -387,6 +395,7 @@ impl BenchEntry {
             self.results,
             map_num(&self.phase_s),
             map_int(&self.prune),
+            map_int(&self.kernel),
             self.node_latency.to_json(),
             self.peak_rss_bytes,
             self.peak_alloc_bytes,
@@ -550,6 +559,20 @@ fn entry_from_json(v: &JsonValue) -> Result<BenchEntry, String> {
                 .ok_or(format!("prune[{k:?}] is not an integer"))
         })
         .collect::<Result<BTreeMap<_, _>, _>>()?;
+    // Pre-v3 entries have no kernel map; read them as empty.
+    let kernel = match v.get("kernel") {
+        None => BTreeMap::new(),
+        Some(k) => k
+            .as_obj()
+            .ok_or("field \"kernel\" is not an object")?
+            .iter()
+            .map(|(k, x)| {
+                x.as_u64()
+                    .map(|x| (k.clone(), x))
+                    .ok_or(format!("kernel[{k:?}] is not an integer"))
+            })
+            .collect::<Result<BTreeMap<_, _>, _>>()?,
+    };
     Ok(BenchEntry {
         dataset: field_str(v, "dataset")?,
         algo: field_str(v, "algo")?,
@@ -561,6 +584,7 @@ fn entry_from_json(v: &JsonValue) -> Result<BenchEntry, String> {
         results: field_u64(v, "results")?,
         phase_s,
         prune,
+        kernel,
         node_latency: summary_from_json(
             v.get("node_latency")
                 .ok_or("missing field \"node_latency\"")?,
@@ -668,6 +692,9 @@ mod tests {
         phase_s.insert("freq_dp".to_owned(), elapsed_s / 2.0);
         let mut prune = BTreeMap::new();
         prune.insert("superset".to_owned(), 12);
+        let mut kernel = BTreeMap::new();
+        kernel.insert("dp_incremental".to_owned(), 40);
+        kernel.insert("dp_recomputed".to_owned(), 9);
         let mut latency = pfcim_core::Histogram::new();
         for v in [1e-6, 2e-6, 3e-6] {
             latency.record(v);
@@ -683,6 +710,7 @@ mod tests {
             results: 7,
             phase_s,
             prune,
+            kernel,
             node_latency: latency.summary(),
             peak_rss_bytes: 1 << 20,
             peak_alloc_bytes: 0,
@@ -740,6 +768,29 @@ mod tests {
         assert_eq!(parsed.version, 1);
         assert_eq!(parsed.threads, 1, "v1 reports are sequential by definition");
         assert_eq!(parsed.entries.len(), 2);
+    }
+
+    #[test]
+    fn pre_v3_entries_parse_with_empty_kernel_map() {
+        // A v2 document predating the kernel counters entirely.
+        let mut report = sample_report(1.0);
+        report.version = 2;
+        let v2_json = report.to_json().replace(
+            "\"kernel\":{\"dp_incremental\":40,\"dp_recomputed\":9},",
+            "",
+        );
+        assert!(!v2_json.contains("kernel"));
+        let parsed = BenchReport::from_json(&v2_json).unwrap();
+        assert_eq!(parsed.version, 2);
+        for e in &parsed.entries {
+            assert!(e.kernel.is_empty());
+        }
+        // A malformed kernel map is still an error, not silently empty.
+        let bad = sample_report(1.0)
+            .to_json()
+            .replace("\"dp_incremental\":40", "\"dp_incremental\":\"many\"");
+        let err = BenchReport::from_json(&bad).unwrap_err();
+        assert!(err.contains("dp_incremental"), "{err}");
     }
 
     #[test]

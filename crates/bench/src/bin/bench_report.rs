@@ -20,7 +20,7 @@
 //! (nodes/s), per-phase wall-clock totals, node-latency quantiles, the
 //! pruning mix, result counts and peak memory (RSS high-water; plus
 //! allocator counters when built with `--features track-alloc`, which
-//! installs the [`TrackingAllocator`](pfcim_core::memtrack) globally).
+//! installs the `pfcim_core::memtrack::TrackingAllocator` globally).
 //! With `--baseline`, the fresh report is compared against an archived
 //! one and the process exits nonzero when any cell slowed down by more
 //! than `--fail-on-regress` percent. `--compare` and `--validate` do
@@ -246,6 +246,12 @@ fn run_cell(
         .into_iter()
         .map(|(k, v)| (k.to_owned(), v))
         .collect(),
+        kernel: outcome
+            .kernel
+            .named()
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
         node_latency: sink.node_latency().summary(),
         peak_rss_bytes: benchreport::peak_rss_bytes().unwrap_or(0),
         peak_alloc_bytes,

@@ -14,9 +14,7 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
-use pfcim_core::{
-    mine, mine_naive_with, mine_with, FcpMethod, MinerConfig, MiningOutcome, ShardableSink, Variant,
-};
+use pfcim_core::{Algorithm, FcpMethod, Miner, MinerConfig, MiningOutcome, ShardableSink, Variant};
 use utdb::UncertainDatabase;
 
 use crate::datasets::{abs_min_sup, DatasetKind, Scale};
@@ -291,7 +289,9 @@ pub fn fig10(scale: Scale, budget: Duration, obs: &mut Observe) -> Vec<Table> {
                             let (fi, fci) = count_certain(rel);
                             let ms = abs_min_sup(db, rel);
                             let pfi = pfim::probabilistic_frequent_itemsets(db, ms, 0.8).len();
-                            let pfci = mine(db, &budgeted(MinerConfig::new(ms, 0.8), budget))
+                            let pfci = Miner::new(db)
+                                .config(budgeted(MinerConfig::new(ms, 0.8), budget))
+                                .run()
                                 .results
                                 .len();
                             shared
@@ -463,9 +463,10 @@ impl BenchAlgo {
         cfg: &MinerConfig,
         sink: &mut S,
     ) -> MiningOutcome {
+        let miner = Miner::new(db).config(cfg.clone());
         match self {
-            BenchAlgo::Naive => mine_naive_with(db, cfg, sink),
-            BenchAlgo::Mpfci | BenchAlgo::Bfs => mine_with(db, cfg, sink),
+            BenchAlgo::Naive => miner.algorithm(Algorithm::Naive).sink(sink).run(),
+            BenchAlgo::Mpfci | BenchAlgo::Bfs => miner.sink(sink).run(),
         }
     }
 }

@@ -6,7 +6,7 @@
 //! drivers perform. It also accumulates the [`MinerStats`] and
 //! [`PhaseTimers`] totals of those runs, so a written trace can be
 //! reconciled event-by-event against the printed aggregates
-//! ([`Observe::reconcile_trace`]).
+//! ([`Observe::finish`]).
 
 use std::fs::File;
 use std::io::{self, BufWriter};
@@ -14,7 +14,7 @@ use std::path::{Path, PathBuf};
 
 use pfcim_core::trace::parse_jsonl;
 use pfcim_core::{
-    mine_naive_with, mine_with, CountingSink, JsonlSink, MinerConfig, MinerStats, MiningOutcome,
+    Algorithm, CountingSink, JsonlSink, KernelStats, Miner, MinerConfig, MinerStats, MiningOutcome,
     PhaseTimers, ProgressSink, Tee,
 };
 use utdb::UncertainDatabase;
@@ -27,6 +27,8 @@ pub struct Observe {
     progress: Option<ProgressSink>,
     /// Counter totals over every mediated run.
     pub totals: MinerStats,
+    /// Kernel-counter totals over every mediated run.
+    pub kernel: KernelStats,
     /// Phase-timer totals over every mediated run.
     pub timers: PhaseTimers,
     /// Number of mining runs mediated.
@@ -73,20 +75,28 @@ impl Observe {
     /// Run the configured miner (DFS/BFS per `cfg.search`) under the
     /// attached observers.
     pub fn run(&mut self, db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
-        let outcome = mine_with(db, cfg, &mut self.sink());
+        let outcome = Miner::new(db)
+            .config(cfg.clone())
+            .sink(&mut self.sink())
+            .run();
         self.absorb(&outcome);
         outcome
     }
 
     /// Run the Naive baseline under the attached observers.
     pub fn run_naive(&mut self, db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
-        let outcome = mine_naive_with(db, cfg, &mut self.sink());
+        let outcome = Miner::new(db)
+            .config(cfg.clone())
+            .algorithm(Algorithm::Naive)
+            .sink(&mut self.sink())
+            .run();
         self.absorb(&outcome);
         outcome
     }
 
     fn absorb(&mut self, outcome: &MiningOutcome) {
         self.totals.absorb(&outcome.stats);
+        self.kernel.absorb(&outcome.kernel);
         self.timers.absorb(&outcome.timers);
         self.runs += 1;
     }

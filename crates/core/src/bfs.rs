@@ -6,12 +6,17 @@
 //! prunings do not apply — they hinge on prefix relationships that the
 //! level-wise order never materializes ("they won't show up in BFS's
 //! enumeration") — which is precisely why the paper finds DFS faster.
+//!
+//! BFS always rebuilds the frequentness DP row (counted as
+//! `dp_recomputed`): carrying a live [`TailDp`] row per stored level
+//! entry would multiply the already level-sized memory footprint, and the
+//! join step's parents are not generally supersets anyway.
 
 use std::time::Instant;
 
-use pfim::FreqProbScratch;
 use prob::hoeffding::hoeffding_infrequent;
-use utdb::{Item, TidSet, UncertainDatabase};
+use prob::TailDp;
+use utdb::{Item, TidBitmap, UncertainDatabase};
 
 use crate::config::MinerConfig;
 use crate::evaluator::Evaluator;
@@ -19,12 +24,24 @@ use crate::result::MiningOutcome;
 use crate::trace::{timed, MinerSink, NullSink, Phase, PruneKind};
 
 /// Mine all probabilistic frequent closed itemsets breadth-first.
+#[deprecated(note = "use `crate::miner::Miner` with `Algorithm::Bfs` instead")]
 pub fn mine_bfs(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
-    mine_bfs_with(db, config, &mut NullSink)
+    run_bfs(db, config, &mut NullSink)
 }
 
 /// [`mine_bfs`], observed by `sink` (see [`crate::trace`]).
+#[deprecated(note = "use `crate::miner::Miner` with `Algorithm::Bfs` and `sink(…)` instead")]
 pub fn mine_bfs_with<S: MinerSink + ?Sized>(
+    db: &UncertainDatabase,
+    config: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
+    run_bfs(db, config, sink)
+}
+
+/// The level-wise miner proper — the engine behind the
+/// [`crate::miner::Miner`] builder and the deprecated free functions.
+pub(crate) fn run_bfs<S: MinerSink + ?Sized>(
     db: &UncertainDatabase,
     config: &MinerConfig,
     sink: &mut S,
@@ -35,15 +52,14 @@ pub fn mine_bfs_with<S: MinerSink + ?Sized>(
     let deadline = config.time_budget.map(|b| start + b);
     let mut timed_out = false;
     let mut evaluator = Evaluator::new(db, config, sink);
-    let mut scratch = FreqProbScratch::new();
     let mut results = Vec::new();
 
     // Level 1: probabilistic frequent single items.
-    let mut level: Vec<(Vec<Item>, TidSet, f64)> = Vec::new();
+    let mut level: Vec<(Vec<Item>, TidBitmap, f64)> = Vec::new();
     for id in 0..db.num_items() as u32 {
         let item = Item(id);
-        let tids = db.tidset_of(item).clone();
-        if let Some(pr_f) = qualify(db, config, &tids, &mut scratch, &mut evaluator) {
+        let tids = db.bitmap_of(item).clone();
+        if let Some(pr_f) = qualify(db, config, &tids, &mut evaluator) {
             level.push((vec![item], tids, pr_f));
         }
     }
@@ -64,7 +80,7 @@ pub fn mine_bfs_with<S: MinerSink + ?Sized>(
             }
         }
         // Join step: pairs sharing a (k-1)-prefix.
-        let mut next: Vec<(Vec<Item>, TidSet, f64)> = Vec::new();
+        let mut next: Vec<(Vec<Item>, TidBitmap, f64)> = Vec::new();
         for (i, (a_items, a_tids, _)) in level.iter().enumerate() {
             for (b_items, b_tids, _) in &level[i + 1..] {
                 let k = a_items.len();
@@ -75,8 +91,9 @@ pub fn mine_bfs_with<S: MinerSink + ?Sized>(
                 if last <= a_items[k - 1] {
                     continue;
                 }
-                let joint = a_tids.intersection(b_tids);
-                if let Some(pr_f) = qualify(db, config, &joint, &mut scratch, &mut evaluator) {
+                evaluator.kernel.bitmap_words += a_tids.word_len() as u64;
+                let joint = a_tids.and(b_tids);
+                if let Some(pr_f) = qualify(db, config, &joint, &mut evaluator) {
                     let mut items = a_items.clone();
                     items.push(last);
                     next.push((items, joint, pr_f));
@@ -88,6 +105,7 @@ pub fn mine_bfs_with<S: MinerSink + ?Sized>(
 
     let Evaluator {
         stats,
+        kernel,
         timers,
         sink,
         ..
@@ -96,6 +114,7 @@ pub fn mine_bfs_with<S: MinerSink + ?Sized>(
     let outcome = MiningOutcome {
         results,
         stats,
+        kernel,
         timers,
         elapsed: start.elapsed(),
         timed_out,
@@ -105,12 +124,12 @@ pub fn mine_bfs_with<S: MinerSink + ?Sized>(
 }
 
 /// Probabilistic-frequency qualification shared with the DFS miner's
-/// logic: count, optional Chernoff–Hoeffding refutation, exact DP.
+/// logic: count, optional Chernoff–Hoeffding refutation, exact DP
+/// (always rebuilt — see the module docs).
 fn qualify<S: MinerSink + ?Sized>(
     db: &UncertainDatabase,
     cfg: &MinerConfig,
-    tids: &TidSet,
-    scratch: &mut FreqProbScratch,
+    tids: &TidBitmap,
     evaluator: &mut Evaluator<'_, S>,
 ) -> Option<f64> {
     let count = tids.count();
@@ -134,11 +153,19 @@ fn qualify<S: MinerSink + ?Sized>(
         }
     }
     evaluator.stats.freq_prob_evals += 1;
+    let kernel = &mut evaluator.kernel;
     let pr_f = timed(
         Phase::FreqDp,
         &mut evaluator.timers,
         &mut *evaluator.sink,
-        || scratch.tail(db, tids, cfg.min_sup),
+        || {
+            kernel.dp_recomputed += 1;
+            let mut dp = TailDp::new(cfg.min_sup);
+            for tid in tids.iter() {
+                dp.push(db.probability(tid));
+            }
+            dp.tail()
+        },
     );
     evaluator.sink.freq_prob_evaluated(pr_f);
     if pr_f <= cfg.pfct {
@@ -153,7 +180,7 @@ fn qualify<S: MinerSink + ?Sized>(
 mod tests {
     use super::*;
     use crate::config::{FcpMethod, Variant};
-    use crate::mpfci::mine_dfs;
+    use crate::mpfci::run_dfs;
 
     fn table4() -> UncertainDatabase {
         UncertainDatabase::parse_symbolic(&[
@@ -171,8 +198,8 @@ mod tests {
         let db = table4();
         for (min_sup, pfct) in [(1, 0.5), (2, 0.8), (2, 0.6), (3, 0.3)] {
             let cfg = MinerConfig::new(min_sup, pfct).with_fcp_method(FcpMethod::ExactOnly);
-            let dfs = mine_dfs(&db, &cfg);
-            let bfs = mine_bfs(&db, &cfg.clone().with_variant(Variant::Bfs));
+            let dfs = run_dfs(&db, &cfg, &mut NullSink);
+            let bfs = run_bfs(&db, &cfg.clone().with_variant(Variant::Bfs), &mut NullSink);
             assert_eq!(
                 bfs.itemsets(),
                 dfs.itemsets(),
@@ -190,8 +217,8 @@ mod tests {
         // many itemsets as DFS — the effect the paper's Fig. 12 measures.
         let db = table4();
         let cfg = MinerConfig::new(2, 0.8);
-        let dfs = mine_dfs(&db, &cfg);
-        let bfs = mine_bfs(&db, &cfg.clone().with_variant(Variant::Bfs));
+        let dfs = run_dfs(&db, &cfg, &mut NullSink);
+        let bfs = run_bfs(&db, &cfg.clone().with_variant(Variant::Bfs), &mut NullSink);
         assert!(
             bfs.stats.nodes_visited >= dfs.stats.nodes_visited,
             "bfs {} < dfs {}",
@@ -201,10 +228,21 @@ mod tests {
     }
 
     #[test]
+    fn bfs_only_recomputes_its_dp_rows() {
+        let db = table4();
+        let cfg = MinerConfig::new(2, 0.8).with_variant(Variant::Bfs);
+        let out = run_bfs(&db, &cfg, &mut NullSink);
+        assert_eq!(out.kernel.dp_incremental, 0);
+        assert_eq!(out.kernel.dp_recomputed, out.stats.freq_prob_evals);
+    }
+
+    #[test]
     fn bfs_empty_result_cases() {
         let db = table4();
-        assert!(mine_bfs(&db, &MinerConfig::new(10, 0.5)).results.is_empty());
-        assert!(mine_bfs(&db, &MinerConfig::new(2, 0.999))
+        assert!(run_bfs(&db, &MinerConfig::new(10, 0.5), &mut NullSink)
+            .results
+            .is_empty());
+        assert!(run_bfs(&db, &MinerConfig::new(2, 0.999), &mut NullSink)
             .results
             .is_empty());
     }

@@ -106,6 +106,16 @@ pub struct MinerConfig {
     /// integer, otherwise the machine's available parallelism.
     /// `threads = 1` runs the legacy sequential path byte-identically.
     pub threads: usize,
+    /// Numerical-stability floor of the incremental frequentness DP.
+    /// Removing a transaction with probability `p` from a Poisson-binomial
+    /// tail row amplifies rounding error by up to `(p/(1-p))^(min_sup-1)`;
+    /// the downdate is refused (and the row rebuilt from scratch) whenever
+    /// that factor exceeds `1 / dp_stability`. Smaller values accept more
+    /// aggressive downdating. Must lie in `(0, 1]`.
+    pub dp_stability: f64,
+    /// Capacity of the evaluator's per-run bound-input (event-table)
+    /// cache, keyed by tid-set fingerprint. `0` disables memoization.
+    pub event_cache_capacity: usize,
 }
 
 impl MinerConfig {
@@ -124,6 +134,8 @@ impl MinerConfig {
             seed: 0x05ee_dfc1,
             time_budget: None,
             threads: 0,
+            dp_stability: 1e-2,
+            event_cache_capacity: 32,
         }
     }
 
@@ -157,6 +169,20 @@ impl MinerConfig {
     /// [`MinerConfig::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Set the incremental-DP stability floor (see
+    /// [`MinerConfig::dp_stability`]).
+    pub fn with_dp_stability(mut self, dp_stability: f64) -> Self {
+        self.dp_stability = dp_stability;
+        self
+    }
+
+    /// Set the evaluator's bound-input cache capacity (`0` disables; see
+    /// [`MinerConfig::event_cache_capacity`]).
+    pub fn with_event_cache_capacity(mut self, capacity: usize) -> Self {
+        self.event_cache_capacity = capacity;
         self
     }
 
@@ -207,6 +233,10 @@ impl MinerConfig {
         assert!(
             self.delta > 0.0 && self.delta < 1.0,
             "delta must lie in (0, 1)"
+        );
+        assert!(
+            self.dp_stability > 0.0 && self.dp_stability <= 1.0,
+            "dp_stability must lie in (0, 1]"
         );
     }
 }
@@ -266,7 +296,15 @@ mod tests {
         assert!(c.pruning.superset);
         assert!(c.pruning.subset);
         assert!(c.pruning.probability_bounds);
+        assert_eq!(c.dp_stability, 1e-2);
+        assert_eq!(c.event_cache_capacity, 32);
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dp_stability")]
+    fn validate_rejects_nonpositive_dp_stability() {
+        MinerConfig::new(2, 0.8).with_dp_stability(0.0).validate();
     }
 
     #[test]

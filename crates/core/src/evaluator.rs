@@ -8,32 +8,83 @@
 //! counters, the [`PhaseTimers`] and the [`MinerSink`] the run was
 //! started with. It is generic over the sink type, so runs with the
 //! default [`crate::trace::NullSink`] monomorphize every callback away.
+//!
+//! It also owns the run's bound-input memoization: a small LRU of
+//! [`EventTable`]s keyed by tid-set fingerprint. Two itemsets with equal
+//! supporting tuples need identical non-closure event inputs (they differ
+//! only in which items are excluded), so the cache turns the repeated
+//! `O(k·m)` event construction into an `O(m)` projection.
+
+use std::rc::Rc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use utdb::{Item, TidSet, UncertainDatabase};
+use utdb::{Item, TidBitmap, UncertainDatabase};
 
 use crate::config::{FcpMethod, MinerConfig};
-use crate::events::NonClosureEvents;
+use crate::events::{EventTable, NonClosureEvents};
 use crate::fcp::{approx_fcp_adaptive_traced, approx_fcp_chunked_traced, approx_fcp_traced};
 use crate::result::Pfci;
-use crate::stats::{MinerStats, PhaseTimers};
+use crate::stats::{KernelStats, MinerStats, PhaseTimers};
 use crate::trace::{timed, FcpEvalKind, MinerSink, Phase, PruneKind};
 
 /// Bounds intervals narrower than this are treated as decided without a
 /// full FCP computation (the paper's "upper bound equals lower bound").
 const DECIDED_WIDTH: f64 = 1e-6;
 
+/// A bounded LRU of [`EventTable`]s keyed by tid-set fingerprint.
+///
+/// Lookup verifies **full tid-set equality** on a fingerprint match, so a
+/// 64-bit hash collision degrades to a miss, never to a wrong table. The
+/// store is a small MRU-first vector — at the configured capacities a
+/// linear scan beats any hashed structure.
+struct EventTableCache {
+    entries: Vec<(u64, Rc<EventTable>)>,
+    capacity: usize,
+}
+
+impl EventTableCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn get(&mut self, fingerprint: u64, tids: &TidBitmap) -> Option<Rc<EventTable>> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|(fp, table)| *fp == fingerprint && table.tids() == tids)?;
+        let entry = self.entries.remove(pos);
+        let table = Rc::clone(&entry.1);
+        self.entries.insert(0, entry);
+        Some(table)
+    }
+
+    fn insert(&mut self, fingerprint: u64, table: Rc<EventTable>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (fingerprint, table));
+    }
+}
+
 pub(crate) struct Evaluator<'a, S: MinerSink + ?Sized> {
     pub db: &'a UncertainDatabase,
     pub cfg: &'a MinerConfig,
     pub rng: SmallRng,
     pub stats: MinerStats,
+    pub kernel: KernelStats,
     pub timers: PhaseTimers,
     pub sink: &'a mut S,
     /// Resolved worker count for chunked `ApproxFCP`. `1` keeps every
     /// sampled path byte-identical to the legacy shared-RNG code.
     threads: usize,
+    cache: EventTableCache,
 }
 
 impl<'a, S: MinerSink + ?Sized> Evaluator<'a, S> {
@@ -43,30 +94,49 @@ impl<'a, S: MinerSink + ?Sized> Evaluator<'a, S> {
             cfg,
             rng: SmallRng::seed_from_u64(cfg.seed),
             stats: MinerStats::default(),
+            kernel: KernelStats::default(),
             timers: PhaseTimers::default(),
             sink,
             threads: cfg.effective_threads(),
+            cache: EventTableCache::new(cfg.event_cache_capacity),
         }
     }
 
     /// Build the non-closure event family of `items` over every other item
-    /// in the database.
-    pub fn events_for(&mut self, items: &[Item], tids: &TidSet) -> NonClosureEvents {
+    /// in the database, through the event-table cache when enabled.
+    ///
+    /// Cached projection and direct construction produce bitwise-identical
+    /// families (the events module tests prove it), so toggling the cache
+    /// never changes mined probabilities.
+    pub fn events_for(&mut self, items: &[Item], tids: &TidBitmap) -> NonClosureEvents {
         let db = self.db;
         let min_sup = self.cfg.min_sup;
         let num_items = db.num_items() as u32;
+        let cache = &mut self.cache;
+        let kernel = &mut self.kernel;
         timed(Phase::EventBuild, &mut self.timers, &mut *self.sink, || {
-            let ext = (0..num_items)
-                .map(Item)
-                .filter(|i| items.binary_search(i).is_err());
-            NonClosureEvents::build(db, tids, ext, min_sup)
+            if cache.capacity == 0 {
+                let ext = (0..num_items)
+                    .map(Item)
+                    .filter(|i| items.binary_search(i).is_err());
+                return NonClosureEvents::build(db, tids, ext, min_sup);
+            }
+            let fingerprint = tids.fingerprint();
+            if let Some(table) = cache.get(fingerprint, tids) {
+                kernel.bound_cache_hits += 1;
+                return table.family_excluding(items);
+            }
+            kernel.bound_cache_misses += 1;
+            let table = Rc::new(EventTable::build(db, tids, min_sup));
+            cache.insert(fingerprint, Rc::clone(&table));
+            table.family_excluding(items)
         })
     }
 
     /// Full checking phase for an itemset that survived all prunings:
     /// returns `Some(Pfci)` when its frequent closed probability exceeds
     /// `pfct`.
-    pub fn evaluate(&mut self, items: &[Item], tids: &TidSet, pr_f: f64) -> Option<Pfci> {
+    pub fn evaluate(&mut self, items: &[Item], tids: &TidBitmap, pr_f: f64) -> Option<Pfci> {
         let events = self.events_for(items, tids);
         let (lo, hi) = if self.cfg.pruning.probability_bounds {
             let max_pairwise = self.cfg.max_pairwise_events;
@@ -95,7 +165,7 @@ impl<'a, S: MinerSink + ?Sized> Evaluator<'a, S> {
 
     /// Naive checking (the paper's "Naive" baseline): always run
     /// `ApproxFCP`, no bounds.
-    pub fn evaluate_naive(&mut self, items: &[Item], tids: &TidSet, pr_f: f64) -> Option<Pfci> {
+    pub fn evaluate_naive(&mut self, items: &[Item], tids: &TidBitmap, pr_f: f64) -> Option<Pfci> {
         let events = self.events_for(items, tids);
         let r = if self.threads > 1 {
             let call_seed = self.rng.next_u64();

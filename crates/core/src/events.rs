@@ -36,7 +36,7 @@ use prob::dnf::UnionEventSystem;
 use prob::poisson_binomial::tail_at_least_with;
 use prob::union_bounds::PairwiseUnionBounds;
 use rand::{Rng, RngExt};
-use utdb::{Item, TidSet, UncertainDatabase};
+use utdb::{Item, TidBitmap, UncertainDatabase};
 
 /// One non-closure event `C_e`.
 #[derive(Debug, Clone)]
@@ -44,7 +44,7 @@ struct NcEvent {
     /// The extension item.
     item: Item,
     /// Positions of `T(X∪e)` within `T(X)` (universe `k`).
-    mask: TidSet,
+    mask: TidBitmap,
     /// Existential probabilities at the mask positions, ascending.
     mask_probs: Vec<f64>,
     /// `Pr(C_e)`: the absence factor `Π_{p ∉ mask} (1 − probs[p])`
@@ -75,7 +75,57 @@ pub struct NonClosureEvents {
 struct JointScratch {
     probs: Vec<f64>,
     dp: Vec<f64>,
-    mask: Option<TidSet>,
+    mask: Option<TidBitmap>,
+}
+
+/// Shared event constructor: the mask / absence-factor / tail computation
+/// both [`NonClosureEvents::build`] and [`EventTable::build`] run per
+/// item. Returns `None` when `Pr(C_e) = 0`.
+///
+/// `full_tail` caches `Pr{sup ≥ min_sup}` over *all* positions, shared by
+/// every item whose tid-set covers `T(X)` entirely (in particular every
+/// item of `X` itself) — those events differ only in their label.
+#[allow(clippy::too_many_arguments)]
+fn event_for_item(
+    db: &UncertainDatabase,
+    positions: &[usize],
+    probs: &[f64],
+    item: Item,
+    min_sup: usize,
+    dp_scratch: &mut [f64],
+    full_tail: &mut Option<f64>,
+) -> Option<NcEvent> {
+    let k = positions.len();
+    let item_tids = db.bitmap_of(item);
+    let mut mask = TidBitmap::new(k);
+    let mut mask_probs = Vec::new();
+    let mut absent_factor = 1.0f64;
+    for (pos, &tid) in positions.iter().enumerate() {
+        if item_tids.contains(tid) {
+            mask.insert(pos);
+            mask_probs.push(probs[pos]);
+        } else {
+            absent_factor *= 1.0 - probs[pos];
+        }
+    }
+    if mask_probs.len() < min_sup || absent_factor == 0.0 {
+        return None; // Pr(C_e) = 0
+    }
+    let tail = if mask_probs.len() == k {
+        *full_tail.get_or_insert_with(|| tail_at_least_with(&mask_probs, min_sup, dp_scratch))
+    } else {
+        tail_at_least_with(&mask_probs, min_sup, dp_scratch)
+    };
+    let prob = absent_factor * tail;
+    if prob <= 0.0 {
+        return None;
+    }
+    Some(NcEvent {
+        item,
+        mask,
+        mask_probs,
+        prob,
+    })
 }
 
 impl NonClosureEvents {
@@ -85,49 +135,46 @@ impl NonClosureEvents {
     /// event has probability 0 for `min_sup ≥ 1`).
     pub fn build(
         db: &UncertainDatabase,
-        x_tids: &TidSet,
+        x_tids: &TidBitmap,
         extension_items: impl IntoIterator<Item = Item>,
         min_sup: usize,
     ) -> Self {
         let min_sup = min_sup.max(1);
         let positions: Vec<usize> = x_tids.iter().collect();
-        let k = positions.len();
         let probs: Vec<f64> = positions.iter().map(|&tid| db.probability(tid)).collect();
         let mut dp_scratch = vec![0.0f64; min_sup + 1];
+        let mut full_tail = None;
 
         let mut events = Vec::new();
-        let mut total_mass = 0.0;
         let mut considered = 0usize;
         for item in extension_items {
             considered += 1;
-            let item_tids = db.tidset_of(item);
-            let mut mask = TidSet::new(k);
-            let mut mask_probs = Vec::new();
-            let mut absent_factor = 1.0f64;
-            for (pos, &tid) in positions.iter().enumerate() {
-                if item_tids.contains(tid) {
-                    mask.insert(pos);
-                    mask_probs.push(probs[pos]);
-                } else {
-                    absent_factor *= 1.0 - probs[pos];
-                }
-            }
-            if mask_probs.len() < min_sup || absent_factor == 0.0 {
-                continue; // Pr(C_e) = 0
-            }
-            let tail = tail_at_least_with(&mask_probs, min_sup, &mut dp_scratch);
-            let prob = absent_factor * tail;
-            if prob <= 0.0 {
-                continue;
-            }
-            total_mass += prob;
-            events.push(NcEvent {
+            if let Some(event) = event_for_item(
+                db,
+                &positions,
+                &probs,
                 item,
-                mask,
-                mask_probs,
-                prob,
-            });
+                min_sup,
+                &mut dp_scratch,
+                &mut full_tail,
+            ) {
+                events.push(event);
+            }
         }
+        Self::from_parts(probs, min_sup, events, considered)
+    }
+
+    /// Assemble a family from already-built events (shared by
+    /// [`NonClosureEvents::build`] and [`EventTable::family_excluding`]).
+    /// The total mass is summed in event order, so families with equal
+    /// event lists are bitwise identical however they were produced.
+    fn from_parts(
+        probs: Vec<f64>,
+        min_sup: usize,
+        events: Vec<NcEvent>,
+        considered: usize,
+    ) -> Self {
+        let total_mass = events.iter().map(|e| e.prob).sum();
         let samplers = RefCell::new(vec![None; events.len()]);
         Self {
             probs,
@@ -188,7 +235,7 @@ impl NonClosureEvents {
                     .get_or_insert_with(|| self.events[*first].mask.clone());
                 mask.clone_from(&self.events[*first].mask);
                 for &i in rest {
-                    mask.intersect_with(&self.events[i].mask);
+                    mask.and_assign(&self.events[i].mask);
                 }
                 scratch.probs.clear();
                 let mut absent_factor = 1.0f64;
@@ -314,7 +361,7 @@ impl NonClosureEvents {
         let mut hits = 0usize;
         for _ in 0..samples {
             // Draw the world restricted to T(X).
-            let mut present = TidSet::new(k);
+            let mut present = TidBitmap::new(k);
             let mut count = 0usize;
             for (pos, &p) in self.probs.iter().enumerate() {
                 if rng.random::<f64>() < p {
@@ -343,7 +390,7 @@ impl NonClosureEvents {
 impl UnionEventSystem for NonClosureEvents {
     /// A sampled world, restricted to the positions of `T(X)`: the set of
     /// *present* positions.
-    type World = TidSet;
+    type World = TidBitmap;
 
     fn num_events(&self) -> usize {
         self.events.len()
@@ -353,14 +400,14 @@ impl UnionEventSystem for NonClosureEvents {
         self.events[i].prob
     }
 
-    fn sample_world_given(&self, i: usize, rng: &mut dyn Rng) -> TidSet {
+    fn sample_world_given(&self, i: usize, rng: &mut dyn Rng) -> TidBitmap {
         let event = &self.events[i];
         let sampler = self.sampler(i);
         let mut draws = Vec::with_capacity(event.mask_probs.len());
         sampler.sample_into(rng, &mut draws);
         // Positions outside the mask are forced absent by C_i; map the
         // conditional draws back onto mask positions.
-        let mut world = TidSet::new(self.probs.len());
+        let mut world = TidBitmap::new(self.probs.len());
         for (draw_idx, pos) in event.mask.iter().enumerate() {
             if draws[draw_idx] {
                 world.insert(pos);
@@ -369,7 +416,7 @@ impl UnionEventSystem for NonClosureEvents {
         world
     }
 
-    fn world_satisfies(&self, world: &TidSet, j: usize) -> bool {
+    fn world_satisfies(&self, world: &TidBitmap, j: usize) -> bool {
         let event = &self.events[j];
         world.is_subset(&event.mask) && world.count() >= self.min_sup
     }
@@ -410,7 +457,7 @@ impl NonClosureEvents {
 }
 
 impl UnionEventSystem for SampleView<'_> {
-    type World = TidSet;
+    type World = TidBitmap;
 
     fn num_events(&self) -> usize {
         self.events.len()
@@ -420,11 +467,11 @@ impl UnionEventSystem for SampleView<'_> {
         self.events[i].prob
     }
 
-    fn sample_world_given(&self, i: usize, rng: &mut dyn Rng) -> TidSet {
+    fn sample_world_given(&self, i: usize, rng: &mut dyn Rng) -> TidBitmap {
         let event = &self.events[i];
         let mut draws = Vec::with_capacity(event.mask_probs.len());
         self.samplers[i].sample_into(rng, &mut draws);
-        let mut world = TidSet::new(self.num_positions);
+        let mut world = TidBitmap::new(self.num_positions);
         for (draw_idx, pos) in event.mask.iter().enumerate() {
             if draws[draw_idx] {
                 world.insert(pos);
@@ -433,9 +480,97 @@ impl UnionEventSystem for SampleView<'_> {
         world
     }
 
-    fn world_satisfies(&self, world: &TidSet, j: usize) -> bool {
+    fn world_satisfies(&self, world: &TidBitmap, j: usize) -> bool {
         let event = &self.events[j];
         world.is_subset(&event.mask) && world.count() >= self.min_sup
+    }
+}
+
+/// A memoizable *superset* of a non-closure event family: one entry per
+/// database item (positive-probability events only), built once for a
+/// tid-set `T` and reusable for **every** itemset `X` with `T(X) = T`.
+///
+/// The per-event computation depends only on `(T, e, min_sup)` — never on
+/// `X` itself — so two itemsets with identical supporting tuples (exactly
+/// the situation subset pruning exploits) share all of it. The evaluator
+/// keys a small LRU of these tables by tid-set fingerprint;
+/// [`EventTable::family_excluding`] then projects the table onto a
+/// concrete `X` by dropping `X`'s own items, reproducing
+/// [`NonClosureEvents::build`] bit-for-bit.
+pub struct EventTable {
+    /// The supporting tuples the table was built for.
+    tids: TidBitmap,
+    /// Existential probabilities of `tids`, position-indexed.
+    probs: Vec<f64>,
+    min_sup: usize,
+    /// Positive-probability events for ALL items, ascending item order.
+    entries: Vec<NcEvent>,
+    /// Items examined (= the database's item-id range).
+    considered: usize,
+}
+
+impl EventTable {
+    /// Build the all-items event table for the supporting tuples `tids`.
+    pub fn build(db: &UncertainDatabase, tids: &TidBitmap, min_sup: usize) -> Self {
+        let min_sup = min_sup.max(1);
+        let positions: Vec<usize> = tids.iter().collect();
+        let probs: Vec<f64> = positions.iter().map(|&tid| db.probability(tid)).collect();
+        let mut dp_scratch = vec![0.0f64; min_sup + 1];
+        let mut full_tail = None;
+        let considered = db.num_items();
+        let entries = (0..considered as u32)
+            .filter_map(|id| {
+                event_for_item(
+                    db,
+                    &positions,
+                    &probs,
+                    Item(id),
+                    min_sup,
+                    &mut dp_scratch,
+                    &mut full_tail,
+                )
+            })
+            .collect();
+        Self {
+            tids: tids.clone(),
+            probs,
+            min_sup,
+            entries,
+            considered,
+        }
+    }
+
+    /// The tid-set the table was built for — callers verify full equality
+    /// on fingerprint-keyed cache hits.
+    pub fn tids(&self) -> &TidBitmap {
+        &self.tids
+    }
+
+    /// The support threshold the table was built for.
+    pub fn min_sup(&self) -> usize {
+        self.min_sup
+    }
+
+    /// Project the table onto the itemset whose items are `exclude`
+    /// (sorted or not): the family of every *other* item's event.
+    ///
+    /// Produces exactly what `NonClosureEvents::build(db, tids, all items
+    /// except exclude, min_sup)` would — same events, same order, same
+    /// floats — because every entry was computed by the same shared
+    /// constructor and item order is preserved.
+    pub fn family_excluding(&self, exclude: &[Item]) -> NonClosureEvents {
+        let events: Vec<NcEvent> = self
+            .entries
+            .iter()
+            .filter(|e| !exclude.contains(&e.item))
+            .cloned()
+            .collect();
+        NonClosureEvents::from_parts(
+            self.probs.clone(),
+            self.min_sup,
+            events,
+            self.considered - exclude.len(),
+        )
     }
 }
 
@@ -460,7 +595,7 @@ mod tests {
     }
 
     fn family_for(db: &UncertainDatabase, x: &[Item], min_sup: usize) -> NonClosureEvents {
-        let tids = db.tidset_of_itemset(x);
+        let tids = db.tidset_of_itemset(x).into_bitmap();
         let ext = (0..db.num_items() as u32)
             .map(Item)
             .filter(|i| !x.contains(i));
@@ -682,6 +817,68 @@ mod tests {
         let b = prob::karp_luby_union_with_samples(&view, 5_000, &mut rng_b);
         assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
         assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn event_table_projection_is_bitwise_identical_to_direct_build() {
+        let db = table2();
+        for (x_s, ms) in [("a b c", 2), ("d", 1), ("a", 2), ("a b", 2), ("c", 3)] {
+            let x = items(&db, x_s);
+            let direct = family_for(&db, &x, ms);
+            let tids = db.tidset_of_itemset(&x).into_bitmap();
+            let table = EventTable::build(&db, &tids, ms);
+            assert_eq!(table.tids(), &tids);
+            assert_eq!(table.min_sup(), ms);
+            let projected = table.family_excluding(&x);
+            assert_eq!(projected.considered_items(), direct.considered_items());
+            assert_eq!(projected.len(), direct.len());
+            assert_eq!(
+                projected.total_mass().to_bits(),
+                direct.total_mass().to_bits(),
+                "X={x_s}"
+            );
+            for i in 0..direct.len() {
+                assert_eq!(projected.item(i), direct.item(i));
+                assert_eq!(
+                    projected.event_prob(i).to_bits(),
+                    direct.event_prob(i).to_bits(),
+                    "X={x_s} event {i}"
+                );
+            }
+            // Joints and bounds go through masks and mask probabilities —
+            // exercise them too.
+            if direct.len() >= 2 {
+                assert_eq!(
+                    projected.joint(&[0, 1]).to_bits(),
+                    direct.joint(&[0, 1]).to_bits()
+                );
+            }
+            let (lo_a, hi_a) = direct.fcp_bounds(0.9, 16, None);
+            let (lo_b, hi_b) = projected.fcp_bounds(0.9, 16, None);
+            assert_eq!(
+                (lo_a.to_bits(), hi_a.to_bits()),
+                (lo_b.to_bits(), hi_b.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn event_table_covers_x_items_with_full_masks() {
+        // Items of X always have T(X∪e) = T(X): their table entry is the
+        // full-mask event whose tail is the plain frequentness tail.
+        let db = table2();
+        let x = items(&db, "a b c");
+        let tids = db.tidset_of_itemset(&x).into_bitmap();
+        let table = EventTable::build(&db, &tids, 2);
+        // All four items co-occur with abc on its full tid-set or a
+        // subset; a, b, c entries must carry prob == Pr{sup(abc) >= 2}.
+        let pr_f = pfim::frequent_probability(&db, &x, 2);
+        let fam_all = table.family_excluding(&[]);
+        for i in 0..fam_all.len() {
+            if x.contains(&fam_all.item(i)) {
+                assert!((fam_all.event_prob(i) - pr_f).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub fn exact_fcp_inclusion_exclusion(
     itemset: &[Item],
     min_sup: usize,
 ) -> Option<f64> {
-    let tids = db.tidset_of_itemset(itemset);
+    let tidset = db.tidset_of_itemset(itemset);
+    let pr_f = pfim::frequent_probability_of_tids(db, &tidset, min_sup);
+    let tids = tidset.into_bitmap();
     let ext = (0..db.num_items() as u32)
         .map(Item)
         .filter(|i| !itemset.contains(i));
@@ -38,7 +40,6 @@ pub fn exact_fcp_inclusion_exclusion(
     if events.len() > MAX_EXACT_EVENTS {
         return None;
     }
-    let pr_f = pfim::frequent_probability_of_tids(db, &tids, min_sup);
     let union = exact_union_probability(events.len(), |s| events.joint(s));
     Some((pr_f - union).clamp(0.0, pr_f))
 }

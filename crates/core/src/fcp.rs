@@ -227,7 +227,7 @@ mod tests {
             .split_whitespace()
             .map(|s| db.dictionary().get(s).unwrap())
             .collect();
-        let tids = db.tidset_of_itemset(&x);
+        let tids = db.tidset_of_itemset(&x).into_bitmap();
         let ext = (0..db.num_items() as u32)
             .map(Item)
             .filter(|i| !x.contains(i));

@@ -24,21 +24,22 @@
 //!
 //! A breadth-first variant ([`bfs`]), the Naive baseline ([`naive`]) and
 //! per-run instrumentation ([`stats`]) complete the experimental surface
-//! of the paper's Section V. The [`trace`] module adds pluggable
-//! observability: every miner has a `*_with` variant taking a
-//! [`MinerSink`] that receives node/pruning/evaluation events, JSONL run
-//! traces and per-phase wall-clock timings. The [`metrics`] module turns
+//! of the paper's Section V. All of them front through the [`miner`]
+//! builder — `Miner::new(&db).min_sup(2).pfct(0.8).run()` — with the
+//! historical `mine*` free functions kept as deprecated wrappers. The
+//! [`trace`] module adds pluggable observability: attach a [`MinerSink`]
+//! via [`Miner::sink`] to receive node/pruning/evaluation events, JSONL
+//! run traces and per-phase wall-clock timings. The [`metrics`] module turns
 //! that event stream into quantitative distributions — log-bucketed
 //! latency/size [`Histogram`]s in a mergeable, JSON-exportable
 //! [`MetricsRegistry`] — and (behind the `track-alloc` feature)
-//! [`memtrack`] adds global allocation accounting for peak-memory
+//! `memtrack` adds global allocation accounting for peak-memory
 //! reporting.
 //!
 //! # Quick start
 //!
 //! ```
-//! use pfcim_core::{MinerConfig, mine};
-//! use utdb::UncertainDatabase;
+//! use pfcim_core::prelude::*;
 //!
 //! // The paper's running example (Table II).
 //! let db = UncertainDatabase::parse_symbolic(&[
@@ -47,7 +48,7 @@
 //!     ("a b c", 0.7),
 //!     ("a b c d", 0.9),
 //! ]);
-//! let outcome = mine(&db, &MinerConfig::new(2, 0.8));
+//! let outcome = Miner::new(&db).min_sup(2).pfct(0.8).run();
 //! // Exactly {a,b,c} (fcp 0.8754) and {a,b,c,d} (fcp 0.81) qualify.
 //! assert_eq!(outcome.results.len(), 2);
 //! ```
@@ -65,26 +66,32 @@ pub mod hardness;
 #[cfg(feature = "track-alloc")]
 pub mod memtrack;
 pub mod metrics;
+pub mod miner;
 pub mod mpfci;
 pub mod naive;
 pub mod par;
+pub mod prelude;
 pub mod result;
 pub mod stats;
 pub mod trace;
 
+#[allow(deprecated)]
 pub use bfs::{mine_bfs, mine_bfs_with};
 pub use config::{FcpMethod, MinerConfig, PruningConfig, SearchStrategy, Variant};
-pub use events::{NonClosureEvents, SampleView};
+pub use events::{EventTable, NonClosureEvents, SampleView};
 pub use exact::{exact_fcp_by_worlds, exact_fcp_inclusion_exclusion, exact_pfci_set};
 pub use fcp::{
     approx_fcp, approx_fcp_adaptive, approx_fcp_adaptive_traced, approx_fcp_chunked,
     approx_fcp_chunked_traced, approx_fcp_traced,
 };
 pub use metrics::{Histogram, HistogramSink, HistogramSummary, MetricsRegistry};
+pub use miner::{Algorithm, Miner, SinkedMiner};
+#[allow(deprecated)]
 pub use mpfci::{mine, mine_dfs, mine_dfs_with, mine_with};
+#[allow(deprecated)]
 pub use naive::{mine_naive, mine_naive_with};
 pub use result::{MiningOutcome, Pfci};
-pub use stats::{MinerStats, PhaseTimers, TimedStats};
+pub use stats::{KernelStats, MinerStats, PhaseTimers, TimedStats};
 pub use trace::{
     parse_jsonl, CountingSink, FcpEvalKind, JsonlSink, MinerSink, NullSink, Phase, ProgressSink,
     PruneKind, RecordingSink, ShardableSink, ShardedSink, Tee, TraceEvent,

@@ -35,7 +35,7 @@ use utdb::Item;
 
 use crate::config::MinerConfig;
 use crate::result::MiningOutcome;
-use crate::stats::MinerStats;
+use crate::stats::{KernelStats, MinerStats};
 use crate::trace::{CountingSink, FcpEvalKind, MinerSink, Phase, PruneKind, ShardableSink};
 
 /// Sub-buckets per power of two: bucket boundaries grow by `2^(1/8)`.
@@ -452,6 +452,10 @@ impl MetricsRegistry {
 pub struct HistogramSink {
     /// Event counters re-derived from the stream, [`CountingSink`]-style.
     pub counts: CountingSink,
+    /// Kernel-level counters (incremental DP, bound cache, bitmap words),
+    /// captured from each finished run's [`MiningOutcome::kernel`] — they
+    /// have no per-event trace, so they arrive wholesale at `run_finished`.
+    pub kernel: KernelStats,
     last_node: Option<Instant>,
     node_latency: Histogram,
     node_depth: Histogram,
@@ -523,6 +527,9 @@ impl HistogramSink {
         ] {
             reg.add(name, v);
         }
+        for (name, v) in self.kernel.named() {
+            reg.add(name, v);
+        }
         reg.set_gauge("elapsed_s", self.elapsed.as_secs_f64());
         let mut put = |name: &str, h: &Histogram| {
             if !h.is_empty() {
@@ -549,6 +556,7 @@ impl HistogramSink {
     /// local — cross-shard node gaps are not node latencies.
     pub fn merge(&mut self, other: &HistogramSink) {
         self.counts.merge(&other.counts);
+        self.kernel.absorb(&other.kernel);
         self.node_latency.merge(&other.node_latency);
         self.node_depth.merge(&other.node_depth);
         for (mine, theirs) in self.phase.iter_mut().zip(other.phase.iter()) {
@@ -609,6 +617,7 @@ impl MinerSink for HistogramSink {
         self.phase[phase.index()].record_duration(elapsed);
     }
     fn run_finished(&mut self, outcome: &MiningOutcome) {
+        self.kernel.absorb(&outcome.kernel);
         self.elapsed += outcome.elapsed;
         self.runs += 1;
         self.last_node = None;

@@ -17,24 +17,47 @@
 //!    the `X∪e` branch continues.
 //! 4. **Probability-bound pruning** (Lemma 4.4) and the final checking
 //!    phase, shared with the BFS framework via the internal evaluator.
+//!
+//! # Incremental support DP
+//!
+//! A DFS child differs from its parent by the transactions dropped at the
+//! extension step: `T(X∪e) ⊆ T(X)`. The frequentness DP row is a product
+//! of per-transaction factors, so instead of rebuilding it over `T(X∪e)`
+//! from scratch, the miner *downdates* the parent's [`TailDp`] row by
+//! dividing out each dropped transaction's probability — `O(dropped ·
+//! min_sup)` instead of `O(|T(X∪e)| · min_sup)`. The division amplifies
+//! rounding by up to `(p/(1−p))^(min_sup−1)` per removal, so removals are
+//! refused (and the row rebuilt) past the [`MinerConfig::dp_stability`]
+//! floor or after `MAX_DOWNDATES` accumulated removals. The
+//! [`crate::stats::KernelStats`] counters report which path each node
+//! took. Both paths are deterministic functions of the node alone, so
+//! parallel fan-out stays bit-identical across thread counts.
 
 use std::time::Instant;
 
-use pfim::FreqProbScratch;
 use prob::hoeffding::hoeffding_infrequent;
-use utdb::{Item, TidSet, UncertainDatabase};
+use prob::TailDp;
+use utdb::{Item, TidBitmap, UncertainDatabase};
 
 use crate::config::{MinerConfig, SearchStrategy};
 use crate::evaluator::Evaluator;
 use crate::par;
 use crate::result::{MiningOutcome, Pfci};
-use crate::stats::{MinerStats, PhaseTimers};
+use crate::stats::{KernelStats, MinerStats, PhaseTimers};
 use crate::trace::{timed, MinerSink, NullSink, Phase, PruneKind, ShardableSink, ShardedSink};
+
+/// Hard cap on downdates accumulated in one [`TailDp`] row before the
+/// miner forces a rebuild; bounds the worst-case accumulated rounding
+/// error of the incremental path to `≈ removals · min_sup · ε /
+/// dp_stability`, far below the `1e-9` tolerance the equivalence suites
+/// compare at.
+const MAX_DOWNDATES: u32 = 256;
 
 /// Mine all probabilistic frequent closed itemsets with the configured
 /// search strategy.
+#[deprecated(note = "use the `crate::miner::Miner` builder instead")]
 pub fn mine(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
-    mine_with(db, config, &mut NullSink)
+    run_search(db, config, &mut NullSink)
 }
 
 /// [`mine`], observed by `sink` (see [`crate::trace`]).
@@ -43,23 +66,45 @@ pub fn mine(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
 /// ([`MinerConfig::threads`]), so the sink must be [`ShardableSink`];
 /// every provided sink (and their `Tee`/`Option`/`&mut` compositions)
 /// is.
+#[deprecated(note = "use `crate::miner::Miner::sink(…)` instead")]
 pub fn mine_with<S: ShardableSink + ?Sized>(
     db: &UncertainDatabase,
     config: &MinerConfig,
     sink: &mut S,
 ) -> MiningOutcome {
-    match config.search {
-        SearchStrategy::Dfs => mine_dfs_with(db, config, sink),
-        SearchStrategy::Bfs => crate::bfs::mine_bfs_with(db, config, sink),
-    }
+    run_search(db, config, sink)
 }
 
 /// The depth-first `ProbFC` algorithm.
+#[deprecated(note = "use `crate::miner::Miner` with `Algorithm::Dfs` instead")]
 pub fn mine_dfs(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
-    mine_dfs_with(db, config, &mut NullSink)
+    run_dfs(db, config, &mut NullSink)
 }
 
 /// [`mine_dfs`], observed by `sink` (see [`crate::trace`]).
+#[deprecated(note = "use `crate::miner::Miner` with `Algorithm::Dfs` and `sink(…)` instead")]
+pub fn mine_dfs_with<S: ShardableSink + ?Sized>(
+    db: &UncertainDatabase,
+    config: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
+    run_dfs(db, config, sink)
+}
+
+/// Dispatch on the configured search strategy — the engine behind the
+/// [`crate::miner::Miner`] builder and the deprecated free functions.
+pub(crate) fn run_search<S: ShardableSink + ?Sized>(
+    db: &UncertainDatabase,
+    config: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
+    match config.search {
+        SearchStrategy::Dfs => run_dfs(db, config, sink),
+        SearchStrategy::Bfs => crate::bfs::run_bfs(db, config, sink),
+    }
+}
+
+/// The depth-first miner proper.
 ///
 /// With [`MinerConfig::effective_threads`] > 1, the first-level subtree
 /// roots fan out over a work-stealing pool ([`crate::par`]); results,
@@ -70,7 +115,7 @@ pub fn mine_dfs(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
 /// fact of `seed` alone for any `threads ≥ 2`, since each root owns a
 /// seed-derived RNG stream). `threads = 1` runs the legacy sequential
 /// code byte-identically.
-pub fn mine_dfs_with<S: ShardableSink + ?Sized>(
+pub(crate) fn run_dfs<S: ShardableSink + ?Sized>(
     db: &UncertainDatabase,
     config: &MinerConfig,
     sink: &mut S,
@@ -94,7 +139,7 @@ fn mine_dfs_sequential<S: MinerSink + ?Sized>(
     let deadline = config.time_budget.map(|b| start + b);
     let mut miner = DfsMiner {
         evaluator: Evaluator::new(db, config, sink),
-        scratch: FreqProbScratch::new(),
+        dropped: Vec::new(),
         results: Vec::new(),
         deadline,
         timed_out: false,
@@ -114,6 +159,7 @@ fn mine_dfs_sequential<S: MinerSink + ?Sized>(
     } = miner;
     let Evaluator {
         stats,
+        kernel,
         timers,
         sink,
         ..
@@ -122,6 +168,7 @@ fn mine_dfs_sequential<S: MinerSink + ?Sized>(
     let outcome = MiningOutcome {
         results,
         stats,
+        kernel,
         timers,
         elapsed: start.elapsed(),
         timed_out,
@@ -161,7 +208,7 @@ fn mine_dfs_parallel<S: ShardableSink + ?Sized>(
         cfg.seed = par::mix_seed(worker_cfg.seed, u64::from(id));
         let mut miner = DfsMiner {
             evaluator: Evaluator::new(db, &cfg, &mut shard),
-            scratch: FreqProbScratch::new(),
+            dropped: Vec::new(),
             results: Vec::new(),
             deadline,
             timed_out: false,
@@ -173,17 +220,24 @@ fn mine_dfs_parallel<S: ShardableSink + ?Sized>(
             timed_out,
             ..
         } = miner;
-        let Evaluator { stats, timers, .. } = evaluator;
-        (shard, results, stats, timers, timed_out)
+        let Evaluator {
+            stats,
+            kernel,
+            timers,
+            ..
+        } = evaluator;
+        (shard, results, stats, kernel, timers, timed_out)
     });
 
     let mut stats = MinerStats::default();
+    let mut kernel = KernelStats::default();
     let mut timers = PhaseTimers::default();
     let mut results = Vec::new();
     let mut timed_out = false;
-    for (shard, root_results, root_stats, root_timers, root_timed_out) in per_root {
+    for (shard, root_results, root_stats, root_kernel, root_timers, root_timed_out) in per_root {
         sharded.absorb(shard);
         stats.absorb(&root_stats);
+        kernel.absorb(&root_kernel);
         timers.absorb(&root_timers);
         results.extend(root_results);
         timed_out |= root_timed_out;
@@ -192,6 +246,7 @@ fn mine_dfs_parallel<S: ShardableSink + ?Sized>(
     let outcome = MiningOutcome {
         results,
         stats,
+        kernel,
         timers,
         elapsed: start.elapsed(),
         timed_out,
@@ -200,9 +255,22 @@ fn mine_dfs_parallel<S: ShardableSink + ?Sized>(
     outcome
 }
 
+/// Everything the DFS carries per enumeration node: the tid-set bitmap,
+/// the live frequentness DP row over its transactions, the expected
+/// support, and the exact frequent probability — the state children
+/// derive from incrementally.
+struct NodeCtx {
+    tids: TidBitmap,
+    dp: TailDp,
+    esup: f64,
+    pr_f: f64,
+}
+
 struct DfsMiner<'a, S: MinerSink + ?Sized> {
     evaluator: Evaluator<'a, S>,
-    scratch: FreqProbScratch,
+    /// Scratch for the dropped transactions' probabilities at each
+    /// extension step (reused across nodes, no per-node allocation).
+    dropped: Vec<f64>,
     results: Vec<Pfci>,
     deadline: Option<Instant>,
     timed_out: bool,
@@ -214,62 +282,153 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
     /// sequential and the parallel driver funnel through here so the two
     /// paths perform identical per-root work.
     fn mine_root(&mut self, item: Item) {
-        let tids = self.evaluator.db.tidset_of(item).clone();
-        if let Some(pr_f) = self.qualify(&tids) {
-            self.process_node(&mut vec![item], &tids, pr_f);
+        let tids = self.evaluator.db.bitmap_of(item).clone();
+        if let Some(ctx) = self.qualify_root(tids) {
+            self.process_node(&mut vec![item], &ctx);
         }
     }
 
-    /// Is the itemset with tid-set `tids` a probabilistic frequent
-    /// itemset? Returns its exact frequent probability when it is.
-    /// Applies the Chernoff–Hoeffding refutation first when enabled.
-    fn qualify(&mut self, tids: &TidSet) -> Option<f64> {
+    /// Is the root itemset with tid-set `tids` a probabilistic frequent
+    /// itemset? Builds the DP row from scratch (roots have no parent to
+    /// downdate from). Applies the Chernoff–Hoeffding refutation first
+    /// when enabled.
+    fn qualify_root(&mut self, tids: TidBitmap) -> Option<NodeCtx> {
         let db = self.evaluator.db;
         let cfg = self.evaluator.cfg;
         let count = tids.count();
         if count < cfg.min_sup {
             return None;
         }
-        if cfg.pruning.chernoff_hoeffding {
-            let refuted = timed(
-                Phase::ChBound,
-                &mut self.evaluator.timers,
-                &mut *self.evaluator.sink,
-                || {
-                    let esup: f64 = tids.iter().map(|tid| db.probability(tid)).sum();
-                    hoeffding_infrequent(esup, count, cfg.min_sup, cfg.pfct)
-                },
-            );
-            if refuted {
-                self.evaluator.stats.ch_pruned += 1;
-                self.evaluator
-                    .sink
-                    .prune_fired(PruneKind::ChernoffHoeffding);
-                return None;
-            }
+        let esup: f64 = tids.iter().map(|tid| db.probability(tid)).sum();
+        if !self.check_chernoff(esup, count) {
+            return None;
         }
         self.evaluator.stats.freq_prob_evals += 1;
-        let scratch = &mut self.scratch;
-        let pr_f = timed(
+        let kernel = &mut self.evaluator.kernel;
+        let min_sup = cfg.min_sup;
+        let tids_ref = &tids;
+        let dp = timed(
             Phase::FreqDp,
             &mut self.evaluator.timers,
             &mut *self.evaluator.sink,
-            || scratch.tail(db, tids, cfg.min_sup),
+            || {
+                kernel.dp_recomputed += 1;
+                let mut dp = TailDp::new(min_sup);
+                for tid in tids_ref.iter() {
+                    dp.push(db.probability(tid));
+                }
+                dp
+            },
         );
+        self.finish_qualify(tids, dp, esup)
+    }
+
+    /// Qualify a DFS child against its parent's node context. The dropped
+    /// transactions `T(X) \ T(X∪e)` are streamed word-level from the two
+    /// bitmaps; the DP row is downdated from the parent's when that is
+    /// both cheaper than a rebuild and numerically safe.
+    fn qualify_child(&mut self, parent: &NodeCtx, tids: TidBitmap) -> Option<NodeCtx> {
+        let db = self.evaluator.db;
+        let cfg = self.evaluator.cfg;
+        let count = tids.count();
+        if count < cfg.min_sup {
+            return None;
+        }
+        self.dropped.clear();
+        for tid in parent.tids.diff_iter(&tids) {
+            self.dropped.push(db.probability(tid));
+        }
+        self.evaluator.kernel.bitmap_words += parent.tids.word_len() as u64;
+        let mut esup = (parent.esup - self.dropped.iter().sum::<f64>()).max(0.0);
+        if !self.check_chernoff(esup, count) {
+            return None;
+        }
+        self.evaluator.stats.freq_prob_evals += 1;
+
+        let kernel = &mut self.evaluator.kernel;
+        let min_sup = cfg.min_sup;
+        let amp_limit = 1.0 / cfg.dp_stability;
+        let dropped = &self.dropped;
+        let tids_ref = &tids;
+        let esup_ref = &mut esup;
+        let dp = timed(
+            Phase::FreqDp,
+            &mut self.evaluator.timers,
+            &mut *self.evaluator.sink,
+            || {
+                // Downdate when it is cheaper than a rebuild and every
+                // removal passes the stability rule; otherwise rebuild.
+                let removals = dropped.len() as u32;
+                if (dropped.len() < count) && parent.dp.removals() + removals <= MAX_DOWNDATES {
+                    let mut dp = parent.dp.clone();
+                    if dropped.iter().all(|&p| dp.try_remove(p, amp_limit)) {
+                        kernel.dp_incremental += 1;
+                        return dp;
+                    }
+                }
+                kernel.dp_recomputed += 1;
+                let mut dp = TailDp::new(min_sup);
+                let mut fresh_esup = 0.0;
+                for tid in tids_ref.iter() {
+                    let p = db.probability(tid);
+                    fresh_esup += p;
+                    dp.push(p);
+                }
+                // The rebuild touches every remaining probability anyway:
+                // refresh the expected support to stop incremental drift.
+                *esup_ref = fresh_esup;
+                dp
+            },
+        );
+        self.finish_qualify(tids, dp, esup)
+    }
+
+    /// Chernoff–Hoeffding refutation (Lemma 4.1); `true` means "survives".
+    fn check_chernoff(&mut self, esup: f64, count: usize) -> bool {
+        let cfg = self.evaluator.cfg;
+        if !cfg.pruning.chernoff_hoeffding {
+            return true;
+        }
+        let refuted = timed(
+            Phase::ChBound,
+            &mut self.evaluator.timers,
+            &mut *self.evaluator.sink,
+            || hoeffding_infrequent(esup, count, cfg.min_sup, cfg.pfct),
+        );
+        if refuted {
+            self.evaluator.stats.ch_pruned += 1;
+            self.evaluator
+                .sink
+                .prune_fired(PruneKind::ChernoffHoeffding);
+            return false;
+        }
+        true
+    }
+
+    /// Shared tail of qualification: read the frequent probability off the
+    /// DP row and apply the exact `Pr_F ≤ pfct` pruning.
+    fn finish_qualify(&mut self, tids: TidBitmap, dp: TailDp, esup: f64) -> Option<NodeCtx> {
+        let cfg = self.evaluator.cfg;
+        let pr_f = dp.tail();
         self.evaluator.sink.freq_prob_evaluated(pr_f);
         if pr_f <= cfg.pfct {
             self.evaluator.stats.freq_pruned += 1;
             self.evaluator.sink.prune_fired(PruneKind::FreqProb);
             return None;
         }
-        Some(pr_f)
+        Some(NodeCtx {
+            tids,
+            dp,
+            esup,
+            pr_f,
+        })
     }
 
     /// Process the enumeration node for itemset `items` (which is known to
-    /// be a probabilistic frequent itemset with frequent probability
-    /// `pr_f`): apply superset pruning, grow extensions with subset
-    /// pruning, then run the checking phase on `items` itself.
-    fn process_node(&mut self, items: &mut Vec<Item>, tids: &TidSet, pr_f: f64) {
+    /// be a probabilistic frequent itemset with node context `ctx`):
+    /// apply superset pruning, grow extensions with subset pruning, then
+    /// run the checking phase on `items` itself.
+    fn process_node(&mut self, items: &mut Vec<Item>, ctx: &NodeCtx) {
         if self.timed_out {
             return;
         }
@@ -283,6 +442,7 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
         let cfg = self.evaluator.cfg;
         self.evaluator.stats.nodes_visited += 1;
         self.evaluator.sink.node_entered(items.len());
+        let words = ctx.tids.word_len() as u64;
 
         // --- Superset pruning (Lemma 4.2) --------------------------------
         if cfg.pruning.superset {
@@ -292,7 +452,8 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
                 if items.binary_search(&pre).is_ok() {
                     continue;
                 }
-                if tids.is_subset(db.tidset_of(pre)) {
+                self.evaluator.kernel.bitmap_words += words;
+                if ctx.tids.is_subset(db.bitmap_of(pre)) {
                     // X and every superset with X as prefix appear only
                     // together with `pre`: the whole subtree is dead.
                     self.evaluator.stats.superset_pruned += 1;
@@ -304,31 +465,44 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
 
         // --- Extension loop with subset pruning (Lemma 4.3) ---------------
         let mut x_closed = true;
-        let count = tids.count();
+        let count = ctx.tids.count();
         let last = items.last().expect("non-empty").0;
         for ext_id in last + 1..db.num_items() as u32 {
             let ext = Item(ext_id);
-            let child_tids = tids.intersection(db.tidset_of(ext));
-            let child_count = child_tids.count();
+            self.evaluator.kernel.bitmap_words += words;
+            let child_count = ctx.tids.and_count(db.bitmap_of(ext));
             if child_count == 0 {
                 continue;
             }
-            if cfg.pruning.subset && child_count == count {
+            let carries_support = cfg.pruning.subset && child_count == count;
+            if !carries_support && child_count < cfg.min_sup {
+                continue; // qualification would reject it without a DP
+            }
+            self.evaluator.kernel.bitmap_words += words;
+            let child_tids = ctx.tids.and(db.bitmap_of(ext));
+            if carries_support {
                 // X∪ext always accompanies X: X is never closed, and the
                 // remaining sibling subtrees (which cannot contain `ext`)
                 // are never closed either — only this branch survives.
                 self.evaluator.stats.subset_pruned += 1;
                 self.evaluator.sink.prune_fired(PruneKind::Subset);
                 x_closed = false;
-                // T(X∪ext) = T(X), so the frequent probability carries over.
+                // T(X∪ext) = T(X): tid-set, DP row, expected support and
+                // frequent probability all carry over unchanged.
+                let child_ctx = NodeCtx {
+                    tids: child_tids,
+                    dp: ctx.dp.clone(),
+                    esup: ctx.esup,
+                    pr_f: ctx.pr_f,
+                };
                 items.push(ext);
-                self.process_node(items, &child_tids, pr_f);
+                self.process_node(items, &child_ctx);
                 items.pop();
                 break;
             }
-            if let Some(child_pr_f) = self.qualify(&child_tids) {
+            if let Some(child_ctx) = self.qualify_child(ctx, child_tids) {
                 items.push(ext);
-                self.process_node(items, &child_tids, child_pr_f);
+                self.process_node(items, &child_ctx);
                 items.pop();
             }
         }
@@ -337,7 +511,7 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
         if !x_closed {
             return;
         }
-        if let Some(pfci) = self.evaluator.evaluate(items, tids, pr_f) {
+        if let Some(pfci) = self.evaluator.evaluate(items, &ctx.tids, ctx.pr_f) {
             self.results.push(pfci);
         }
     }
@@ -369,10 +543,14 @@ mod tests {
         ])
     }
 
+    fn dfs(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+        run_dfs(db, cfg, &mut NullSink)
+    }
+
     #[test]
     fn running_example_result_set_and_values() {
         let db = table2();
-        let out = mine_dfs(&db, &MinerConfig::new(2, 0.8));
+        let out = dfs(&db, &MinerConfig::new(2, 0.8));
         let rendered: Vec<String> = out.results.iter().map(|p| p.render(&db)).collect();
         assert_eq!(rendered.len(), 2, "{rendered:?}");
         assert!(rendered[0].starts_with("{a, b, c}:"));
@@ -395,7 +573,7 @@ mod tests {
             let oracle = exact_pfci_set(&db, min_sup, pfct);
             let cfg = MinerConfig::new(min_sup, pfct)
                 .with_fcp_method(crate::config::FcpMethod::ExactOnly);
-            let out = mine_dfs(&db, &cfg);
+            let out = dfs(&db, &cfg);
             assert_eq!(
                 out.itemsets(),
                 oracle.iter().map(|p| p.items.clone()).collect::<Vec<_>>(),
@@ -417,10 +595,10 @@ mod tests {
     fn all_variants_agree_on_the_result_set() {
         let db = table4();
         let base = MinerConfig::new(2, 0.8).with_fcp_method(crate::config::FcpMethod::ExactOnly);
-        let reference = mine(&db, &base).itemsets();
+        let reference = run_search(&db, &base, &mut NullSink).itemsets();
         for variant in Variant::ALL {
             let cfg = base.clone().with_variant(variant);
-            let out = mine(&db, &cfg);
+            let out = run_search(&db, &cfg, &mut NullSink);
             assert_eq!(out.itemsets(), reference, "{}", variant.name());
         }
     }
@@ -428,7 +606,7 @@ mod tests {
     #[test]
     fn pruning_counters_fire_on_the_running_example() {
         let db = table2();
-        let out = mine_dfs(&db, &MinerConfig::new(2, 0.8));
+        let out = dfs(&db, &MinerConfig::new(2, 0.8));
         // Example 4.3: subset pruning stops {ab}'s siblings, superset
         // pruning stops {b}, {c}, {d} roots.
         assert!(out.stats.subset_pruned > 0);
@@ -437,27 +615,66 @@ mod tests {
     }
 
     #[test]
+    fn kernel_counters_fire_on_the_running_example() {
+        let db = table4();
+        let out = dfs(&db, &MinerConfig::new(2, 0.8));
+        // Every root that reaches the DP rebuilds; children downdate.
+        assert!(out.kernel.dp_recomputed > 0, "{}", out.kernel);
+        assert!(out.kernel.dp_incremental > 0, "{}", out.kernel);
+        assert!(out.kernel.bitmap_words > 0, "{}", out.kernel);
+        assert_eq!(out.kernel.dp_rows(), out.stats.freq_prob_evals);
+    }
+
+    #[test]
+    fn incremental_dp_matches_forced_recompute_exactly() {
+        // dp_stability = 1 refuses every downdate with p > 0.5 and
+        // max-limits the rest; dp_stability = 1e-2 (default) accepts most.
+        // The mined probabilities must agree to well under the suite's
+        // 1e-9 tolerance either way.
+        let db = table4();
+        let base = MinerConfig::new(2, 0.6).with_fcp_method(crate::config::FcpMethod::ExactOnly);
+        let incremental = dfs(&db, &base);
+        let rebuilt = dfs(&db, &base.clone().with_dp_stability(1.0));
+        assert!(incremental.kernel.dp_incremental > 0);
+        assert!(rebuilt.kernel.dp_recomputed >= incremental.kernel.dp_recomputed);
+        assert_eq!(incremental.itemsets(), rebuilt.itemsets());
+        for (a, b) in incremental.results.iter().zip(&rebuilt.results) {
+            assert!((a.frequent_probability - b.frequent_probability).abs() < 1e-12);
+            assert!((a.fcp - b.fcp).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn event_cache_toggle_is_bit_identical() {
+        let db = table4();
+        let base = MinerConfig::new(2, 0.8);
+        let cached = dfs(&db, &base);
+        let uncached = dfs(&db, &base.clone().with_event_cache_capacity(0));
+        assert!(cached.kernel.bound_cache_misses > 0);
+        assert_eq!(uncached.kernel.bound_cache_hits, 0);
+        assert_eq!(uncached.kernel.bound_cache_misses, 0);
+        assert_eq!(cached.results, uncached.results);
+        assert_eq!(cached.stats, uncached.stats);
+    }
+
+    #[test]
     fn empty_database_and_high_thresholds() {
         let empty = UncertainDatabase::new(vec![], utdb::ItemDictionary::new());
-        assert!(mine_dfs(&empty, &MinerConfig::new(1, 0.5))
-            .results
-            .is_empty());
+        assert!(dfs(&empty, &MinerConfig::new(1, 0.5)).results.is_empty());
 
         let db = table2();
-        assert!(mine_dfs(&db, &MinerConfig::new(5, 0.5)).results.is_empty());
-        assert!(mine_dfs(&db, &MinerConfig::new(2, 0.999))
-            .results
-            .is_empty());
+        assert!(dfs(&db, &MinerConfig::new(5, 0.5)).results.is_empty());
+        assert!(dfs(&db, &MinerConfig::new(2, 0.999)).results.is_empty());
     }
 
     #[test]
     fn adaptive_sampling_method_agrees_with_exact() {
         let db = table4();
-        let exact = mine_dfs(
+        let exact = dfs(
             &db,
             &MinerConfig::new(2, 0.8).with_fcp_method(crate::config::FcpMethod::ExactOnly),
         );
-        let adaptive = mine_dfs(
+        let adaptive = dfs(
             &db,
             &MinerConfig::new(2, 0.8)
                 .with_fcp_method(crate::config::FcpMethod::ApproxAdaptive)
@@ -470,9 +687,22 @@ mod tests {
     fn deterministic_across_runs() {
         let db = table4();
         let cfg = MinerConfig::new(2, 0.8);
-        let a = mine_dfs(&db, &cfg);
-        let b = mine_dfs(&db, &cfg);
+        let a = dfs(&db, &cfg);
+        let b = dfs(&db, &cfg);
         assert_eq!(a.results, b.results);
         assert_eq!(a.stats, b.stats);
+        assert_eq!(a.kernel, b.kernel);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_mine() {
+        let db = table2();
+        let cfg = MinerConfig::new(2, 0.8);
+        let via_wrapper = mine_dfs(&db, &cfg);
+        let direct = dfs(&db, &cfg);
+        assert_eq!(via_wrapper.results, direct.results);
+        let dispatched = mine(&db, &cfg);
+        assert_eq!(dispatched.results, direct.results);
     }
 }

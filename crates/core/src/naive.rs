@@ -22,12 +22,24 @@ use crate::trace::{MinerSink, NullSink};
 /// The PFI stage uses `pft = pfct`: any itemset with
 /// `Pr_F(X) ≤ pfct` has `Pr_FC(X) ≤ pfct` too, so the restriction loses
 /// nothing.
+#[deprecated(note = "use `crate::miner::Miner` with `Algorithm::Naive` instead")]
 pub fn mine_naive(db: &UncertainDatabase, config: &MinerConfig) -> MiningOutcome {
-    mine_naive_with(db, config, &mut NullSink)
+    run_naive(db, config, &mut NullSink)
 }
 
 /// [`mine_naive`], observed by `sink` (see [`crate::trace`]).
+#[deprecated(note = "use `crate::miner::Miner` with `Algorithm::Naive` and `sink(…)` instead")]
 pub fn mine_naive_with<S: MinerSink + ?Sized>(
+    db: &UncertainDatabase,
+    config: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
+    run_naive(db, config, sink)
+}
+
+/// The exhaustive PFI-checking baseline proper — the engine behind the
+/// [`crate::miner::Miner`] builder and the deprecated free functions.
+pub(crate) fn run_naive<S: MinerSink + ?Sized>(
     db: &UncertainDatabase,
     config: &MinerConfig,
     sink: &mut S,
@@ -50,7 +62,7 @@ pub fn mine_naive_with<S: MinerSink + ?Sized>(
         }
         evaluator.stats.nodes_visited += 1;
         evaluator.sink.node_entered(pfi.items.len());
-        let tids = db.tidset_of_itemset(&pfi.items);
+        let tids = db.tidset_of_itemset(&pfi.items).into_bitmap();
         if let Some(pfci) = evaluator.evaluate_naive(&pfi.items, &tids, pfi.frequent_probability) {
             results.push(pfci);
         }
@@ -58,6 +70,7 @@ pub fn mine_naive_with<S: MinerSink + ?Sized>(
 
     let Evaluator {
         stats,
+        kernel,
         timers,
         sink,
         ..
@@ -66,6 +79,7 @@ pub fn mine_naive_with<S: MinerSink + ?Sized>(
     let outcome = MiningOutcome {
         results,
         stats,
+        kernel,
         timers,
         elapsed: start.elapsed(),
         timed_out,
@@ -78,7 +92,15 @@ pub fn mine_naive_with<S: MinerSink + ?Sized>(
 mod tests {
     use super::*;
     use crate::config::FcpMethod;
-    use crate::mpfci::mine_dfs;
+    use crate::mpfci::run_dfs;
+
+    fn naive(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+        run_naive(db, cfg, &mut NullSink)
+    }
+
+    fn dfs(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+        run_dfs(db, cfg, &mut NullSink)
+    }
 
     fn table2() -> UncertainDatabase {
         UncertainDatabase::parse_symbolic(&[
@@ -93,8 +115,8 @@ mod tests {
     fn naive_matches_mpfci_result_set() {
         let db = table2();
         let cfg = MinerConfig::new(2, 0.8).with_approximation(0.05, 0.05);
-        let naive = mine_naive(&db, &cfg);
-        let dfs = mine_dfs(&db, &cfg.clone().with_fcp_method(FcpMethod::ExactOnly));
+        let naive = naive(&db, &cfg);
+        let dfs = dfs(&db, &cfg.clone().with_fcp_method(FcpMethod::ExactOnly));
         assert_eq!(naive.itemsets(), dfs.itemsets());
     }
 
@@ -104,10 +126,10 @@ mod tests {
         // while MPFCI checks far fewer.
         let db = table2();
         let cfg = MinerConfig::new(2, 0.8);
-        let naive = mine_naive(&db, &cfg);
+        let naive = naive(&db, &cfg);
         assert_eq!(naive.stats.nodes_visited, 15);
         assert_eq!(naive.stats.fcp_sampled, 15);
-        let dfs = mine_dfs(&db, &cfg);
+        let dfs = dfs(&db, &cfg);
         assert!(dfs.stats.fcp_evaluations() < naive.stats.fcp_evaluations());
     }
 
@@ -115,7 +137,7 @@ mod tests {
     fn naive_fcp_values_are_close_to_exact() {
         let db = table2();
         let cfg = MinerConfig::new(2, 0.8).with_approximation(0.05, 0.05);
-        let naive = mine_naive(&db, &cfg);
+        let naive = naive(&db, &cfg);
         for p in &naive.results {
             let exact = crate::exact::exact_fcp_by_worlds(&db, &p.items, 2);
             assert!((p.fcp - exact).abs() < 0.02, "{:?}", p.items);

@@ -1,0 +1,16 @@
+//! Convenience re-exports: everything a typical mining program needs.
+//!
+//! ```
+//! use pfcim_core::prelude::*;
+//! use utdb::UncertainDatabase;
+//!
+//! let db = UncertainDatabase::parse_symbolic(&[("a b", 0.9), ("a b", 0.8)]);
+//! let outcome = Miner::new(&db).min_sup(2).pfct(0.5).run();
+//! assert_eq!(outcome.results.len(), 1);
+//! ```
+
+pub use crate::config::MinerConfig;
+pub use crate::miner::{Algorithm, Miner};
+pub use crate::result::{MiningOutcome, Pfci};
+pub use crate::trace::MinerSink;
+pub use utdb::UncertainDatabase;

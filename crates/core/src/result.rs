@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use utdb::{Item, UncertainDatabase};
 
-use crate::stats::{MinerStats, PhaseTimers};
+use crate::stats::{KernelStats, MinerStats, PhaseTimers};
 
 /// One probabilistic frequent closed itemset (Definition 3.8).
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +33,9 @@ pub struct MiningOutcome {
     pub results: Vec<Pfci>,
     /// Work counters.
     pub stats: MinerStats,
+    /// Substrate counters for the bitmap/DP kernels (incremental-DP
+    /// hit rates, bound-input cache behaviour, words scanned).
+    pub kernel: KernelStats,
     /// Wall-clock totals per instrumented phase (freq-dp, ch-bound,
     /// event-build, bound-eval, fcp-exact, fcp-sample).
     pub timers: PhaseTimers,
@@ -56,7 +59,7 @@ impl MiningOutcome {
         self.results.iter().map(|p| p.items.clone()).collect()
     }
 
-    /// Counters, timers and wall-clock time as one [`TimedStats`] bundle
+    /// Counters, timers and wall-clock time as one [`TimedStats`](crate::stats::TimedStats) bundle
     /// (the shape sweeps aggregate).
     pub fn timed_stats(&self) -> crate::stats::TimedStats {
         crate::stats::TimedStats {
@@ -106,6 +109,7 @@ mod tests {
                 },
             ],
             stats: MinerStats::default(),
+            kernel: KernelStats::default(),
             timers: PhaseTimers::default(),
             elapsed: Duration::ZERO,
             timed_out: false,

@@ -84,6 +84,78 @@ impl fmt::Display for MinerStats {
     }
 }
 
+/// Counters for the bitmap/DP kernel layer beneath the miner: how the
+/// incremental Poisson-binomial downdate and the bound-input memoization
+/// actually behaved on a run.
+///
+/// Kept separate from [`MinerStats`] on purpose: `MinerStats` counters
+/// are each reconcilable one-to-one from the trace-event stream (the
+/// observability tests assert it), while these are substrate-level
+/// measurements with no per-event representation. They travel on
+/// [`crate::MiningOutcome::kernel`] and surface through the
+/// [`crate::metrics::HistogramSink`] snapshot and the `BENCH_*.json`
+/// schema (v3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Frequentness DP rows derived by downdating the parent row
+    /// (dropped transactions divided out) instead of recomputing.
+    pub dp_incremental: u64,
+    /// Frequentness DP rows rebuilt from scratch — fresh roots, cases
+    /// where the downdate would cost more than a rebuild, and
+    /// numerical-stability fallbacks.
+    pub dp_recomputed: u64,
+    /// Evaluator bound-input (event-table) cache hits, verified by full
+    /// tid-set equality.
+    pub bound_cache_hits: u64,
+    /// Evaluator bound-input cache misses (tables built).
+    pub bound_cache_misses: u64,
+    /// 64-bit words streamed through the tid-bitmap kernels on the
+    /// miner's hot paths (intersections, difference scans).
+    pub bitmap_words: u64,
+}
+
+impl KernelStats {
+    /// Merge another run's counters into this one.
+    pub fn absorb(&mut self, other: &KernelStats) {
+        self.dp_incremental += other.dp_incremental;
+        self.dp_recomputed += other.dp_recomputed;
+        self.bound_cache_hits += other.bound_cache_hits;
+        self.bound_cache_misses += other.bound_cache_misses;
+        self.bitmap_words += other.bitmap_words;
+    }
+
+    /// Total frequentness DP rows produced either way.
+    pub fn dp_rows(&self) -> u64 {
+        self.dp_incremental + self.dp_recomputed
+    }
+
+    /// The `(name, value)` pairs in stable order — the single source for
+    /// the metrics snapshot and the benchmark report schema.
+    pub fn named(&self) -> [(&'static str, u64); 5] {
+        [
+            ("dp_incremental", self.dp_incremental),
+            ("dp_recomputed", self.dp_recomputed),
+            ("bound_cache_hits", self.bound_cache_hits),
+            ("bound_cache_misses", self.bound_cache_misses),
+            ("bitmap_words", self.bitmap_words),
+        ]
+    }
+}
+
+impl fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dp_inc={} dp_full={} cache_hit={} cache_miss={} words={}",
+            self.dp_incremental,
+            self.dp_recomputed,
+            self.bound_cache_hits,
+            self.bound_cache_misses,
+            self.bitmap_words,
+        )
+    }
+}
+
 /// Wall-clock totals per instrumented phase ([`Phase`]), with call
 /// counts.
 ///

@@ -11,7 +11,7 @@
 //! already refutes frequency.
 //!
 //! The module also implements the *probabilistic support* of the related
-//! work [34] discussed in §II.B: the largest support level `s` such that
+//! work \[34\] discussed in §II.B: the largest support level `s` such that
 //! `Pr{ sup(X) ≥ s } ≥ pft` — used by the Table IV semantics comparison.
 
 use prob::hoeffding::hoeffding_infrequent;
@@ -133,7 +133,7 @@ fn recurse(
 }
 
 /// The *probabilistic support* of an itemset under threshold `pft` (the
-/// definition of the related work [34]): the largest `s` with
+/// definition of the related work \[34\]): the largest `s` with
 /// `Pr{ sup(X) ≥ s } ≥ pft`, or 0 when even `s = 1` fails.
 pub fn probabilistic_support(db: &UncertainDatabase, itemset: &[Item], pft: f64) -> usize {
     let tids = db.tidset_of_itemset(itemset);

@@ -175,6 +175,207 @@ pub fn expected_value(probs: &[f64]) -> f64 {
     probs.iter().sum()
 }
 
+/// Entries this far below zero are treated as rounding noise and clamped;
+/// anything lower fails a [`TailDp::try_remove`] downdate.
+const DOWNDATE_NEG_TOL: f64 = 1e-9;
+
+/// An incrementally maintainable threshold DP for
+/// `Pr{ S ≥ k }`: the *truncated head* `Pr{ S = j }` for `j < k` of a
+/// Poisson–binomial sum, with the tail recovered as `1 − Σ head`.
+///
+/// Unlike the absorbing-state DP of [`tail_at_least`], this
+/// representation is *invertible*: a Bernoulli trial can be divided back
+/// out ([`TailDp::try_remove`]) because no mass was collapsed into an
+/// absorbing "already ≥ k" state. That is what lets a depth-first miner
+/// derive a child node's frequentness DP from its parent's in
+/// `O(d · k)` for `d` dropped transactions instead of `O(n · k)` from
+/// scratch.
+///
+/// # Numerical stability
+///
+/// Removal runs the forward recurrence `f[j] = (g[j] − f[j−1]·p) / q`
+/// with `q = 1 − p`, whose rounding error is amplified by roughly
+/// `max(1, p/q)^(k−1)` across the row. [`TailDp::try_remove`] refuses
+/// the division (returning `false`, leaving the caller to recompute)
+/// when that estimate exceeds the caller's `amp_limit`, when `q` is
+/// degenerate, or when the resulting row fails validation. On a refused
+/// or failed removal the row contents are unspecified — downdate a clone
+/// and keep the parent row authoritative.
+///
+/// # Examples
+///
+/// ```
+/// use prob::poisson_binomial::TailDp;
+/// let mut dp = TailDp::new(2);
+/// for p in [0.9, 0.6, 0.7, 0.9] {
+///     dp.push(p);
+/// }
+/// assert!((dp.tail() - 0.9726).abs() < 1e-12);
+/// // Divide the 0.6 trial back out: Pr{sup ≥ 2} of {0.9, 0.7, 0.9}.
+/// assert!(dp.try_remove(0.6, 1e4));
+/// let direct = prob::poisson_binomial::tail_at_least(&[0.9, 0.7, 0.9], 2);
+/// assert!((dp.tail() - direct).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailDp {
+    /// `head[j] = Pr{ S = j }` for `j < k`.
+    head: Vec<f64>,
+    k: usize,
+    trials: usize,
+    removals: u32,
+}
+
+impl TailDp {
+    /// An empty row (zero trials) for threshold `k`.
+    pub fn new(k: usize) -> Self {
+        let mut head = vec![0.0; k];
+        if let Some(first) = head.first_mut() {
+            *first = 1.0;
+        }
+        Self {
+            head,
+            k,
+            trials: 0,
+            removals: 0,
+        }
+    }
+
+    /// Build the row from per-trial probabilities.
+    pub fn from_probs<I: IntoIterator<Item = f64>>(k: usize, probs: I) -> Self {
+        let mut dp = Self::new(k);
+        for p in probs {
+            dp.push(p);
+        }
+        dp
+    }
+
+    /// Reset to zero trials and re-absorb `probs` — the full-recompute
+    /// fallback, reusing the allocation.
+    pub fn rebuild<I: IntoIterator<Item = f64>>(&mut self, probs: I) {
+        self.head.fill(0.0);
+        if let Some(first) = self.head.first_mut() {
+            *first = 1.0;
+        }
+        self.trials = 0;
+        self.removals = 0;
+        for p in probs {
+            self.push(p);
+        }
+    }
+
+    /// The threshold `k` this row was built for.
+    pub fn threshold(&self) -> usize {
+        self.k
+    }
+
+    /// Number of Bernoulli trials currently absorbed.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Downdates applied since the last rebuild — callers bound this to
+    /// keep accumulated rounding drift negligible.
+    pub fn removals(&self) -> u32 {
+        self.removals
+    }
+
+    /// The truncated head `Pr{ S = j }` for `j < k`.
+    pub fn head(&self) -> &[f64] {
+        &self.head
+    }
+
+    /// Absorb one more Bernoulli trial in `O(min(trials, k))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside `[0, 1]`.
+    pub fn push(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Bernoulli probability {p} outside [0, 1]"
+        );
+        if self.k > 0 {
+            let q = 1.0 - p;
+            // Occupancy before this trial is min(trials, k-1); one trial
+            // can raise it by one.
+            let top = (self.trials + 1).min(self.k - 1);
+            for j in (1..=top).rev() {
+                self.head[j] = self.head[j] * q + self.head[j - 1] * p;
+            }
+            self.head[0] *= q;
+        }
+        self.trials += 1;
+    }
+
+    /// Divide one Bernoulli trial back out of the row in `O(k)`.
+    ///
+    /// Returns `false` — leaving the row in an unspecified state, see the
+    /// type docs — when the estimated error amplification
+    /// `max(1, p/q)^(k−1)` exceeds `amp_limit`, when `q = 1 − p` is
+    /// degenerate, or when the recovered row fails validation (an entry
+    /// outside `[0, 1]` beyond rounding tolerance). The trial must be one
+    /// that was previously absorbed; removing anything else yields a row
+    /// for "some" trial multiset only if validation happens to pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside `[0, 1]`.
+    pub fn try_remove(&mut self, p: f64, amp_limit: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Bernoulli probability {p} outside [0, 1]"
+        );
+        if self.trials == 0 {
+            return false;
+        }
+        if self.k == 0 {
+            self.trials -= 1;
+            self.removals += 1;
+            return true;
+        }
+        let q = 1.0 - p;
+        if q < f64::EPSILON {
+            return false;
+        }
+        let ratio = p / q;
+        if ratio > 1.0 && (self.k as f64 - 1.0) * ratio.ln() > amp_limit.ln() {
+            return false;
+        }
+        // Forward deconvolution: g = push(f, p) inverts to
+        // f[j] = (g[j] − f[j−1]·p) / q, computed ascending in place (the
+        // old g[j] is still unread when f[j] is written).
+        let mut prev = 0.0f64;
+        let mut sum = 0.0f64;
+        for j in 0..self.k {
+            let mut f = (self.head[j] - prev * p) / q;
+            if !(-DOWNDATE_NEG_TOL..=1.0 + DOWNDATE_NEG_TOL).contains(&f) {
+                return false;
+            }
+            f = f.clamp(0.0, 1.0);
+            self.head[j] = f;
+            prev = f;
+            sum += f;
+        }
+        if sum > 1.0 + DOWNDATE_NEG_TOL {
+            return false;
+        }
+        self.trials -= 1;
+        self.removals += 1;
+        true
+    }
+
+    /// `Pr{ S ≥ k }` for the currently absorbed trials.
+    pub fn tail(&self) -> f64 {
+        if self.k == 0 {
+            return 1.0;
+        }
+        if self.trials < self.k {
+            return 0.0;
+        }
+        crate::clamp_prob(1.0 - self.head.iter().sum::<f64>())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +519,82 @@ mod tests {
     }
 
     #[test]
+    fn tail_dp_matches_capped_dp_as_trials_accrue() {
+        let probs = [0.9, 0.6, 0.7, 0.9, 0.15, 0.33, 0.5];
+        for k in 0..=5 {
+            let mut dp = TailDp::new(k);
+            for (i, &p) in probs.iter().enumerate() {
+                dp.push(p);
+                let direct = tail_at_least(&probs[..=i], k);
+                assert!(
+                    (dp.tail() - direct).abs() < 1e-12,
+                    "k={k} n={}: {} vs {direct}",
+                    i + 1,
+                    dp.tail()
+                );
+            }
+            assert_eq!(dp.trials(), probs.len());
+        }
+    }
+
+    #[test]
+    fn tail_dp_remove_inverts_push() {
+        let probs = [0.4, 0.25, 0.5, 0.1, 0.45];
+        for k in 1..=4 {
+            let mut dp = TailDp::from_probs(k, probs.iter().copied());
+            // Remove in a different order than insertion.
+            assert!(dp.try_remove(0.5, 1e4));
+            assert!(dp.try_remove(0.4, 1e4));
+            let direct = tail_at_least(&[0.25, 0.1, 0.45], k);
+            assert!(
+                (dp.tail() - direct).abs() < 1e-10,
+                "k={k}: {} vs {direct}",
+                dp.tail()
+            );
+            assert_eq!(dp.trials(), 3);
+            assert_eq!(dp.removals(), 2);
+        }
+    }
+
+    #[test]
+    fn tail_dp_refuses_unstable_removals() {
+        // q below machine epsilon is degenerate.
+        let mut dp = TailDp::from_probs(2, [1.0, 0.5, 0.5]);
+        assert!(!dp.try_remove(1.0, 1e12));
+        // Amplification (p/q)^(k-1) beyond the limit is refused for high
+        // thresholds but fine for k = 2.
+        let probs = vec![0.9; 30];
+        let mut wide = TailDp::from_probs(20, probs.iter().copied());
+        assert!(!wide.try_remove(0.9, 100.0), "9^19 >> 100");
+        let mut narrow = TailDp::from_probs(2, probs.iter().copied());
+        assert!(narrow.try_remove(0.9, 100.0), "9^1 <= 100");
+    }
+
+    #[test]
+    fn tail_dp_empty_and_zero_threshold() {
+        let mut dp = TailDp::new(0);
+        assert_eq!(dp.tail(), 1.0);
+        dp.push(0.3);
+        assert_eq!(dp.tail(), 1.0);
+        assert!(dp.try_remove(0.3, 1e4));
+        assert!(!dp.try_remove(0.3, 1e4), "no trials left");
+
+        let dp = TailDp::new(3);
+        assert_eq!(dp.tail(), 0.0, "fewer trials than threshold");
+    }
+
+    #[test]
+    fn tail_dp_rebuild_resets_removal_count() {
+        let mut dp = TailDp::from_probs(2, [0.3, 0.4]);
+        assert!(dp.try_remove(0.3, 1e4));
+        dp.rebuild([0.3, 0.4, 0.5]);
+        assert_eq!(dp.removals(), 0);
+        assert_eq!(dp.trials(), 3);
+        let direct = tail_at_least(&[0.3, 0.4, 0.5], 2);
+        assert!((dp.tail() - direct).abs() < 1e-12);
+    }
+
+    #[test]
     #[should_panic(expected = "outside")]
     fn rejects_invalid_probability() {
         SupportDistribution::new(&[1.5]);
@@ -327,5 +604,90 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn push_rejects_invalid_probability() {
         SupportDistribution::new(&[0.5]).push(-0.1);
+    }
+}
+
+/// The incremental-downdate contract the miner relies on: for arbitrary
+/// probability vectors and removal subsets, either [`TailDp::try_remove`]
+/// succeeds and the downdated row's tail matches a full recompute over
+/// the survivors within `1e-9`, or it refuses and a rebuild restores the
+/// same answer. Removals are driven on a clone, exactly as
+/// `qualify_child` does, so a refusal never corrupts live state.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// (probabilities, threshold k, indices to remove): probabilities are
+    /// quantized to keep the generator's shrink space small while still
+    /// covering near-0 / near-1 entries that stress the deconvolution.
+    fn dp_case() -> impl Strategy<Value = (Vec<f64>, usize, Vec<usize>)> {
+        (
+            proptest::collection::vec(0u32..=1000, 1..24),
+            0usize..6,
+            proptest::collection::vec(0usize..24, 0..12),
+        )
+            .prop_map(|(raw, k, picks)| {
+                let probs: Vec<f64> = raw.iter().map(|&q| f64::from(q) / 1000.0).collect();
+                let mut drop: Vec<usize> = picks.iter().map(|&i| i % probs.len()).collect();
+                drop.sort_unstable();
+                drop.dedup();
+                (probs, k, drop)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn downdate_matches_full_recompute(case in dp_case()) {
+            let (probs, k, drop) = case;
+            let parent = TailDp::from_probs(k, probs.iter().copied());
+            let survivors: Vec<f64> = probs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !drop.contains(i))
+                .map(|(_, &p)| p)
+                .collect();
+            let full = tail_at_least(&survivors, k);
+
+            // The miner's default stability floor (dp_stability = 1e-2).
+            let amp_limit = 100.0;
+            let mut dp = parent.clone();
+            if drop.iter().all(|&i| dp.try_remove(probs[i], amp_limit)) {
+                prop_assert!(
+                    (dp.tail() - full).abs() < 1e-9,
+                    "downdate {} vs recompute {} (k={}, dropped {} of {})",
+                    dp.tail(), full, k, drop.len(), probs.len()
+                );
+                prop_assert_eq!(dp.trials(), survivors.len());
+                prop_assert_eq!(dp.removals(), drop.len() as u32);
+            } else {
+                // Refusal path: the fallback rebuild must reproduce the
+                // exact answer (the clone shields the parent row).
+                let mut rebuilt = parent.clone();
+                rebuilt.rebuild(survivors.iter().copied());
+                prop_assert!((rebuilt.tail() - full).abs() < 1e-12);
+                prop_assert_eq!(rebuilt.removals(), 0);
+            }
+            // The parent row is untouched either way.
+            prop_assert_eq!(parent.tail().to_bits(),
+                TailDp::from_probs(k, probs.iter().copied()).tail().to_bits());
+        }
+
+        #[test]
+        fn tight_amp_limit_forces_refusal_not_corruption(case in dp_case()) {
+            let (probs, k, drop) = case;
+            if k < 2 || drop.is_empty() {
+                return Ok(());
+            }
+            // amp_limit = 1 refuses every removal whose amplification
+            // factor exceeds 1, i.e. any p > q; pick one such entry.
+            let Some(&i) = drop.iter().find(|&&i| probs[i] > 0.5 && probs[i] < 1.0) else {
+                return Ok(());
+            };
+            let mut dp = TailDp::from_probs(k, probs.iter().copied());
+            prop_assert!(!dp.try_remove(probs[i], 1.0));
+        }
     }
 }

@@ -1,0 +1,520 @@
+//! Word-level bitmap kernels over transaction identifiers.
+//!
+//! [`TidBitmap`] is the storage and kernel layer beneath
+//! [`crate::TidSet`]: a flat array of 64-bit words over a fixed universe
+//! `0..universe`, giving branch-free AND / ANDNOT / OR, hardware-popcount
+//! support counting, subset and disjointness tests, and an ascending
+//! iterator over set tids. The miner's hot path — tid-set intersection in
+//! the enumeration loop and the dropped-transaction scan behind the
+//! incremental frequentness DP — runs directly on these kernels.
+//!
+//! The layout is cache-friendly by construction: one contiguous `Vec<u64>`
+//! per set, tid `t` at bit `t % 64` of word `t / 64`, so every kernel is a
+//! single linear pass over (pairs of) word arrays.
+//!
+//! A 64-bit [`TidBitmap::fingerprint`] (a splitmix64 fold of the words)
+//! keys the evaluator's bound-input memoization; collisions are handled by
+//! full equality verification at the cache, never assumed away.
+
+use std::fmt;
+
+/// Splitmix64 finalizer — the mixing function folding words into a
+/// [`TidBitmap::fingerprint`].
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fixed-universe bitmap over transaction ids `0..universe`.
+///
+/// # Examples
+///
+/// ```
+/// use utdb::bitset::TidBitmap;
+/// let a = TidBitmap::from_tids(100, [1, 4, 70]);
+/// let b = TidBitmap::from_tids(100, [4, 70, 90]);
+/// assert_eq!(a.and_count(&b), 2);
+/// assert_eq!(a.and(&b).iter().collect::<Vec<_>>(), vec![4, 70]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TidBitmap {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl TidBitmap {
+    /// An empty bitmap over `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        Self {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// The full bitmap `0..universe`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::new(universe);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let lo = i * 64;
+            let bits = universe.saturating_sub(lo).min(64);
+            *w = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+        }
+        s
+    }
+
+    /// Build from an iterator of tids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tid is out of the universe.
+    pub fn from_tids<I: IntoIterator<Item = usize>>(universe: usize, tids: I) -> Self {
+        let mut s = Self::new(universe);
+        for tid in tids {
+            s.insert(tid);
+        }
+        s
+    }
+
+    /// The universe size this bitmap was created with.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The backing words, tid `t` at bit `t % 64` of word `t / 64`.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of backing 64-bit words (`ceil(universe / 64)`) — the unit
+    /// the miner's `bitmap_words` counter is denominated in.
+    #[inline]
+    pub fn word_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Set bit `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= universe`.
+    #[inline]
+    pub fn insert(&mut self, tid: usize) {
+        assert!(tid < self.universe, "tid {tid} out of universe");
+        self.words[tid / 64] |= 1u64 << (tid % 64);
+    }
+
+    /// Clear bit `tid` if set.
+    #[inline]
+    pub fn remove(&mut self, tid: usize) {
+        if tid < self.universe {
+            self.words[tid / 64] &= !(1u64 << (tid % 64));
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, tid: usize) -> bool {
+        tid < self.universe && self.words[tid / 64] >> (tid % 64) & 1 == 1
+    }
+
+    /// Number of set bits (hardware popcount over the words).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∩ other` as a new bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched universes.
+    pub fn and(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// `self \ other` as a new bitmap.
+    pub fn and_not(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a & !b)
+    }
+
+    /// `self ∪ other` as a new bitmap.
+    pub fn or(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// In-place `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched universes.
+    pub fn and_assign(&mut self, other: &Self) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place `self &= !other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched universes.
+    pub fn and_not_assign(&mut self, other: &Self) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `|self ∩ other|` without allocating.
+    #[inline]
+    pub fn and_count(&self, other: &Self) -> usize {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self \ other|` without allocating.
+    #[inline]
+    pub fn and_not_count(&self, other: &Self) -> usize {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Is `self ⊆ other`?
+    #[inline]
+    pub fn is_subset(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Do the two bitmaps share no tid?
+    #[inline]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterate the set tids in ascending order.
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Iterate the tids of `self \ other` in ascending order without
+    /// materializing the difference — the kernel behind the incremental
+    /// DP's dropped-transaction scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched universes (debug builds).
+    pub fn diff_iter<'a>(&'a self, other: &'a Self) -> DiffBits<'a> {
+        debug_assert_eq!(self.universe, other.universe);
+        DiffBits {
+            a: &self.words,
+            b: &other.words,
+            word_idx: 0,
+            current: match (self.words.first(), other.words.first()) {
+                (Some(&a), Some(&b)) => a & !b,
+                _ => 0,
+            },
+        }
+    }
+
+    /// A 64-bit fingerprint of the bitmap contents (splitmix64 fold over
+    /// the words and the universe). Deterministic across runs and
+    /// platforms; used as an LRU cache key. Distinct bitmaps *can*
+    /// collide — callers must verify equality on hit.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mix64(self.universe as u64 ^ 0x7fcb_5a1d_93e4_206f);
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                h ^= mix64(w ^ mix64(i as u64));
+            }
+        }
+        h
+    }
+
+    fn zip_with(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            universe: self.universe,
+        }
+    }
+}
+
+impl fmt::Debug for TidBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending iterator over the set bits of a [`TidBitmap`].
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TidBitmap {
+    type Item = usize;
+    type IntoIter = SetBits<'a>;
+
+    fn into_iter(self) -> SetBits<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over `a \ b` (see [`TidBitmap::diff_iter`]).
+pub struct DiffBits<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for DiffBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.a.len() {
+                return None;
+            }
+            self.current = self.a[self.word_idx] & !self.b[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_cross_word_boundaries() {
+        let a = TidBitmap::from_tids(200, [0, 63, 64, 127, 128, 199]);
+        let b = TidBitmap::from_tids(200, [63, 64, 199]);
+        assert_eq!(a.and(&b).iter().collect::<Vec<_>>(), vec![63, 64, 199]);
+        assert_eq!(a.and_not(&b).iter().collect::<Vec<_>>(), vec![0, 127, 128]);
+        assert_eq!(a.and_count(&b), 3);
+        assert_eq!(a.and_not_count(&b), 3);
+        assert!(b.is_subset(&a));
+        assert_eq!(
+            a.diff_iter(&b).collect::<Vec<_>>(),
+            vec![0, 127, 128],
+            "diff_iter equals materialized and_not"
+        );
+    }
+
+    #[test]
+    fn in_place_kernels_match_allocating_ones() {
+        let a = TidBitmap::from_tids(130, [1, 65, 100, 129]);
+        let b = TidBitmap::from_tids(130, [65, 129]);
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert_eq!(c, a.and(&b));
+        let mut d = a.clone();
+        d.and_not_assign(&b);
+        assert_eq!(d, a.and_not(&b));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        for n in [0, 1, 63, 64, 65, 128, 200] {
+            let full = TidBitmap::full(n);
+            assert_eq!(full.count(), n);
+            assert!(TidBitmap::new(n).is_empty());
+        }
+    }
+
+    #[test]
+    fn fingerprint_discriminates_and_is_stable() {
+        let a = TidBitmap::from_tids(100, [1, 50, 99]);
+        let b = TidBitmap::from_tids(100, [1, 50, 98]);
+        let a2 = TidBitmap::from_tids(100, [1, 50, 99]);
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Different universes with the same bits hash differently.
+        let c = TidBitmap::from_tids(101, [1, 50, 99]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Empty bitmaps hash by universe only.
+        assert_ne!(
+            TidBitmap::new(10).fingerprint(),
+            TidBitmap::new(11).fingerprint()
+        );
+    }
+
+    #[test]
+    fn word_access() {
+        let a = TidBitmap::from_tids(70, [0, 64]);
+        assert_eq!(a.word_len(), 2);
+        assert_eq!(a.words(), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn and_assign_mismatch_panics() {
+        let mut a = TidBitmap::new(5);
+        a.and_assign(&TidBitmap::new(6));
+    }
+}
+
+/// The bitmap kernels against a reference model: a sorted, deduplicated
+/// `Vec<usize>` with the obvious set algebra. Every public operation must
+/// agree with the model on arbitrary tid universes, including the empty
+/// universe and sizes straddling word boundaries.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// An arbitrary universe plus two arbitrary subsets of it, as
+    /// (universe, sorted-dedup model A, sorted-dedup model B). Candidate
+    /// tids are drawn from the full range and clamped to the universe, so
+    /// small universes (including the empty one) are exercised too.
+    fn two_sets() -> impl Strategy<Value = (usize, Vec<usize>, Vec<usize>)> {
+        let tids = || proptest::collection::vec(0usize..200, 0..64);
+        (0usize..200, tids(), tids()).prop_map(|(n, mut a, mut b)| {
+            for set in [&mut a, &mut b] {
+                set.retain(|&t| t < n);
+                set.sort_unstable();
+                set.dedup();
+            }
+            (n, a, b)
+        })
+    }
+
+    fn model_and(a: &[usize], b: &[usize]) -> Vec<usize> {
+        a.iter().filter(|t| b.contains(t)).copied().collect()
+    }
+
+    fn model_and_not(a: &[usize], b: &[usize]) -> Vec<usize> {
+        a.iter().filter(|t| !b.contains(t)).copied().collect()
+    }
+
+    fn model_or(a: &[usize], b: &[usize]) -> Vec<usize> {
+        let mut out: Vec<usize> = a.iter().chain(b).copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn kernels_match_sorted_vec_model(input in two_sets()) {
+            let (n, a, b) = input;
+            let ba = TidBitmap::from_tids(n, a.iter().copied());
+            let bb = TidBitmap::from_tids(n, b.iter().copied());
+
+            // Round trip and membership.
+            prop_assert_eq!(ba.iter().collect::<Vec<_>>(), a.clone());
+            prop_assert_eq!(ba.count(), a.len());
+            prop_assert_eq!(ba.is_empty(), a.is_empty());
+            for t in 0..n {
+                prop_assert_eq!(ba.contains(t), a.contains(&t));
+            }
+
+            // Binary kernels.
+            let and = model_and(&a, &b);
+            let and_not = model_and_not(&a, &b);
+            prop_assert_eq!(ba.and(&bb).iter().collect::<Vec<_>>(), and.clone());
+            prop_assert_eq!(ba.and_not(&bb).iter().collect::<Vec<_>>(), and_not.clone());
+            prop_assert_eq!(ba.or(&bb).iter().collect::<Vec<_>>(), model_or(&a, &b));
+            prop_assert_eq!(ba.and_count(&bb), and.len());
+            prop_assert_eq!(ba.and_not_count(&bb), and_not.len());
+            prop_assert_eq!(ba.diff_iter(&bb).collect::<Vec<_>>(), and_not.clone());
+
+            // In-place variants agree with the allocating ones.
+            let mut c = ba.clone();
+            c.and_assign(&bb);
+            prop_assert_eq!(&c, &ba.and(&bb));
+            let mut d = ba.clone();
+            d.and_not_assign(&bb);
+            prop_assert_eq!(&d, &ba.and_not(&bb));
+
+            // Predicates.
+            prop_assert_eq!(ba.is_subset(&bb), a.iter().all(|t| b.contains(t)));
+            prop_assert_eq!(ba.is_disjoint(&bb), and.is_empty());
+
+            // Fingerprints of equal sets agree (the cache relies on it).
+            let rebuilt = TidBitmap::from_tids(n, a.iter().copied());
+            prop_assert_eq!(ba.fingerprint(), rebuilt.fingerprint());
+            if a != b {
+                prop_assert!(ba.fingerprint() != bb.fingerprint());
+            }
+        }
+
+        #[test]
+        fn insert_remove_match_model(input in two_sets()) {
+            let (n, a, _) = input;
+            let mut bitmap = TidBitmap::new(n);
+            for &t in &a {
+                bitmap.insert(t);
+            }
+            prop_assert_eq!(bitmap.iter().collect::<Vec<_>>(), a.clone());
+            // Remove the first half; the rest must survive untouched.
+            let half = a.len() / 2;
+            for &t in &a[..half] {
+                bitmap.remove(t);
+            }
+            prop_assert_eq!(bitmap.iter().collect::<Vec<_>>(), a[half..].to_vec());
+        }
+    }
+}

@@ -130,6 +130,17 @@ impl UncertainDatabase {
         &self.tidsets[item.index()]
     }
 
+    /// Word-level bitmap of a single item's tid-set — the representation
+    /// the miner's intersection and popcount kernels run on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item id is outside the vertical index.
+    #[inline]
+    pub fn bitmap_of(&self, item: Item) -> &crate::bitset::TidBitmap {
+        self.tidsets[item.index()].bitmap()
+    }
+
     /// Tid-set of an itemset: the intersection of its items' tid-sets.
     /// Returns the full universe for the empty itemset.
     pub fn tidset_of_itemset(&self, itemset: &[Item]) -> TidSet {

@@ -11,8 +11,10 @@
 //! * [`transaction`] — validated transactions (sorted, duplicate-free);
 //! * [`database`] — the [`UncertainDatabase`] with vertical tid-lists and
 //!   dataset statistics;
+//! * [`bitset`] — word-level bitmap kernels ([`TidBitmap`]): AND/ANDNOT,
+//!   popcount counting, set-bit iteration, fingerprint hashing;
 //! * [`tidset`] — packed bitsets over transaction ids, the workhorse of
-//!   the miner's structural prunings;
+//!   the miner's structural prunings (a thin adapter over [`bitset`]);
 //! * [`worlds`] — exhaustive possible-world enumeration for small
 //!   databases (the ground-truth oracle used throughout the test suites);
 //! * [`gaussian`] — the paper's experimental protocol of assigning
@@ -25,6 +27,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bitset;
 pub mod database;
 pub mod gaussian;
 pub mod gen;
@@ -34,6 +37,7 @@ pub mod tidset;
 pub mod transaction;
 pub mod worlds;
 
+pub use bitset::TidBitmap;
 pub use database::{DatabaseStats, UncertainDatabase};
 pub use gaussian::assign_gaussian_probabilities;
 pub use item::{Item, ItemDictionary};

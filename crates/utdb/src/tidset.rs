@@ -5,8 +5,19 @@
 //! and a one-item extension, i.e. to subset tests between tid-sets. A flat
 //! `u64` bitset gives branch-free intersection, difference and subset
 //! checks with hardware popcount.
+//!
+//! [`TidSet`] is a thin adapter over the word-level kernel type
+//! [`crate::bitset::TidBitmap`]: it preserves the original tid-set API
+//! (so the `fim`/`pfim` baselines compile unchanged) while the miner core
+//! operates on the bitmap kernels directly via [`TidSet::bitmap`].
 
 use std::fmt;
+
+use crate::bitset::TidBitmap;
+
+/// Ascending iterator over the tids of a [`TidSet`] — the bitmap kernel
+/// iterator, re-exported under its historical name.
+pub type TidIter<'a> = crate::bitset::SetBits<'a>;
 
 /// A fixed-universe bitset over transaction ids `0..universe`.
 ///
@@ -24,28 +35,22 @@ use std::fmt;
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct TidSet {
-    words: Vec<u64>,
-    universe: usize,
+    bits: TidBitmap,
 }
 
 impl TidSet {
     /// An empty set over `0..universe`.
     pub fn new(universe: usize) -> Self {
         Self {
-            words: vec![0; universe.div_ceil(64)],
-            universe,
+            bits: TidBitmap::new(universe),
         }
     }
 
     /// The full set `0..universe`.
     pub fn full(universe: usize) -> Self {
-        let mut s = Self::new(universe);
-        for (i, w) in s.words.iter_mut().enumerate() {
-            let lo = i * 64;
-            let bits = universe.saturating_sub(lo).min(64);
-            *w = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+        Self {
+            bits: TidBitmap::full(universe),
         }
-        s
     }
 
     /// Build from an iterator of tids.
@@ -54,17 +59,27 @@ impl TidSet {
     ///
     /// Panics if a tid is out of the universe.
     pub fn from_tids<I: IntoIterator<Item = usize>>(universe: usize, tids: I) -> Self {
-        let mut s = Self::new(universe);
-        for tid in tids {
-            s.insert(tid);
+        Self {
+            bits: TidBitmap::from_tids(universe, tids),
         }
-        s
+    }
+
+    /// The underlying word-level bitmap kernels.
+    #[inline]
+    pub fn bitmap(&self) -> &TidBitmap {
+        &self.bits
+    }
+
+    /// Unwrap into the underlying bitmap.
+    #[inline]
+    pub fn into_bitmap(self) -> TidBitmap {
+        self.bits
     }
 
     /// The universe size this set was created with.
     #[inline]
     pub fn universe(&self) -> usize {
-        self.universe
+        self.bits.universe()
     }
 
     /// Insert `tid`.
@@ -74,35 +89,32 @@ impl TidSet {
     /// Panics if `tid >= universe`.
     #[inline]
     pub fn insert(&mut self, tid: usize) {
-        assert!(tid < self.universe, "tid {tid} out of universe");
-        self.words[tid / 64] |= 1u64 << (tid % 64);
+        self.bits.insert(tid);
     }
 
     /// Remove `tid` if present.
     #[inline]
     pub fn remove(&mut self, tid: usize) {
-        if tid < self.universe {
-            self.words[tid / 64] &= !(1u64 << (tid % 64));
-        }
+        self.bits.remove(tid);
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(&self, tid: usize) -> bool {
-        tid < self.universe && self.words[tid / 64] >> (tid % 64) & 1 == 1
+        self.bits.contains(tid)
     }
 
     /// Number of tids in the set (the paper's *count* of an itemset when
     /// the set is its tid-set, Definition 4.2).
     #[inline]
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.bits.count()
     }
 
     /// True when no tid is present.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.bits.is_empty()
     }
 
     /// `self ∩ other` as a new set.
@@ -111,118 +123,69 @@ impl TidSet {
     ///
     /// Panics on mismatched universes.
     pub fn intersection(&self, other: &Self) -> Self {
-        self.zip_with(other, |a, b| a & b)
+        Self {
+            bits: self.bits.and(&other.bits),
+        }
     }
 
     /// `self \ other` as a new set.
     pub fn difference(&self, other: &Self) -> Self {
-        self.zip_with(other, |a, b| a & !b)
+        Self {
+            bits: self.bits.and_not(&other.bits),
+        }
     }
 
     /// `self ∪ other` as a new set.
     pub fn union(&self, other: &Self) -> Self {
-        self.zip_with(other, |a, b| a | b)
+        Self {
+            bits: self.bits.or(&other.bits),
+        }
     }
 
     /// In-place `self &= other`.
     pub fn intersect_with(&mut self, other: &Self) {
-        assert_eq!(self.universe, other.universe, "universe mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        self.bits.and_assign(&other.bits);
     }
 
     /// `|self ∩ other|` without allocating.
     #[inline]
     pub fn intersection_count(&self, other: &Self) -> usize {
-        debug_assert_eq!(self.universe, other.universe);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.bits.and_count(&other.bits)
     }
 
     /// `|self \ other|` without allocating.
     #[inline]
     pub fn difference_count(&self, other: &Self) -> usize {
-        debug_assert_eq!(self.universe, other.universe);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+        self.bits.and_not_count(&other.bits)
     }
 
     /// Is `self ⊆ other`?
     #[inline]
     pub fn is_subset(&self, other: &Self) -> bool {
-        debug_assert_eq!(self.universe, other.universe);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        self.bits.is_subset(&other.bits)
     }
 
     /// Do the two sets share no tid?
     #[inline]
     pub fn is_disjoint(&self, other: &Self) -> bool {
-        debug_assert_eq!(self.universe, other.universe);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+        self.bits.is_disjoint(&other.bits)
     }
 
     /// Iterate the tids in ascending order.
     pub fn iter(&self) -> TidIter<'_> {
-        TidIter {
-            words: &self.words,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+        self.bits.iter()
     }
+}
 
-    fn zip_with(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
-        assert_eq!(self.universe, other.universe, "universe mismatch");
-        Self {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            universe: self.universe,
-        }
+impl From<TidBitmap> for TidSet {
+    fn from(bits: TidBitmap) -> Self {
+        Self { bits }
     }
 }
 
 impl fmt::Debug for TidSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_set().entries(self.iter()).finish()
-    }
-}
-
-/// Ascending iterator over the tids of a [`TidSet`].
-pub struct TidIter<'a> {
-    words: &'a [u64],
-    word_idx: usize,
-    current: u64,
-}
-
-impl Iterator for TidIter<'_> {
-    type Item = usize;
-
-    fn next(&mut self) -> Option<usize> {
-        loop {
-            if self.current != 0 {
-                let bit = self.current.trailing_zeros() as usize;
-                self.current &= self.current - 1;
-                return Some(self.word_idx * 64 + bit);
-            }
-            self.word_idx += 1;
-            if self.word_idx >= self.words.len() {
-                return None;
-            }
-            self.current = self.words[self.word_idx];
-        }
     }
 }
 
@@ -313,6 +276,14 @@ mod tests {
     fn debug_renders_members() {
         let s = TidSet::from_tids(8, [1, 5]);
         assert_eq!(format!("{s:?}"), "{1, 5}");
+    }
+
+    #[test]
+    fn adapter_round_trips_through_the_bitmap() {
+        let s = TidSet::from_tids(80, [2, 64, 79]);
+        assert_eq!(s.bitmap().count(), 3);
+        let bits = s.clone().into_bitmap();
+        assert_eq!(TidSet::from(bits), s);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! cargo run --release --example mushroom_compression
 //! ```
 
-use pfcim::core::{mine, MinerConfig};
+use pfcim::core::Miner;
 use pfcim::utdb::assign_gaussian_probabilities;
 use pfcim::utdb::gen::MushroomConfig;
 use rand::rngs::SmallRng;
@@ -33,7 +33,7 @@ fn main() {
         let fi = pfcim::fim::frequent_itemsets_fpgrowth(&certain, ms);
         let fci = pfcim::fim::frequent_closed_itemsets(&certain, ms);
         let pfi = pfcim::pfim::probabilistic_frequent_itemsets(&uncertain, ms, 0.8);
-        let pfci = mine(&uncertain, &MinerConfig::new(ms, 0.8));
+        let pfci = Miner::new(&uncertain).min_sup(ms).pfct(0.8).run();
         println!(
             "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8.3} {:>9.3}",
             rel,

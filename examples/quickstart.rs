@@ -9,7 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pfcim::core::{exact_fcp_by_worlds, mine, MinerConfig};
+use pfcim::core::{exact_fcp_by_worlds, Miner, MinerConfig};
 use pfcim::utdb::{PossibleWorlds, UncertainDatabase};
 
 fn main() {
@@ -46,7 +46,7 @@ fn main() {
 
     // Mine the probabilistic frequent closed itemsets.
     let config = MinerConfig::new(2, 0.8);
-    let outcome = mine(&db, &config);
+    let outcome = Miner::new(&db).config(config.clone()).run();
     println!(
         "\nPFCIs at min_sup=2, pfct=0.8 ({} nodes visited, {:?}):",
         outcome.stats.nodes_visited, outcome.elapsed

@@ -13,7 +13,7 @@
 //! cargo run --release --example semantics_comparison
 //! ```
 
-use pfcim::core::{exact_fcp_by_worlds, mine, MinerConfig};
+use pfcim::core::{exact_fcp_by_worlds, Miner};
 use pfcim::pfim::{frequent_probability, probabilistic_support};
 use pfcim::utdb::{Item, UncertainDatabase};
 
@@ -73,7 +73,7 @@ fn main() {
         );
     }
     for pfct in [0.8, 0.7, 0.6, 0.5] {
-        let outcome = mine(&db, &MinerConfig::new(2, pfct));
+        let outcome = Miner::new(&db).min_sup(2).pfct(pfct).run();
         let rendered: Vec<String> = outcome
             .results
             .iter()

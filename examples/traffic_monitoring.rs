@@ -10,7 +10,7 @@
 //! cargo run --release --example traffic_monitoring
 //! ```
 
-use pfcim::core::{mine, MinerConfig};
+use pfcim::core::{Miner, MinerConfig};
 use pfcim::utdb::{Item, ItemDictionary, UncertainDatabase, UncertainTransaction};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -74,7 +74,7 @@ fn main() {
     // Patterns seen in at least 4% of readings with 90% confidence.
     let min_sup = db.len() / 25;
     let config = MinerConfig::new(min_sup, 0.9);
-    let outcome = mine(&db, &config);
+    let outcome = Miner::new(&db).config(config.clone()).run();
 
     println!(
         "\nProbabilistic frequent closed patterns (min_sup={min_sup}, pfct=0.9):\n\

@@ -45,6 +45,9 @@ if [[ $SMOKE == 1 ]]; then
     # chunked sampling) end-to-end through the report pipeline.
     "${BENCH[@]}" --smoke --label smoke --budget 5 --threads 2 --out-dir "$out"
     "${BENCH[@]}" --validate "$out/BENCH_smoke.json"
+    # Kernel micro-benches (bitmap intersection, incremental-vs-full DP):
+    # run once to prove they execute; timings are informational here.
+    cargo bench -q -p pfcim-bench --bench micro_kernels
 else
     label="${LABEL:-local}"
     "${BENCH[@]}" --label "$label" --out-dir .

@@ -18,6 +18,9 @@ run cargo test --workspace -q
 run env PFCIM_TEST_THREADS=1,4 cargo test --workspace -q
 run cargo test -p pfcim-core --features track-alloc -q
 run cargo check --benches --workspace
+# Rustdoc must build clean: broken intra-doc links and malformed
+# examples are errors, not warnings.
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # Benchmark pipeline smoke: run the tiny matrix end-to-end and
 # schema-validate the emitted BENCH_smoke.json.
 run scripts/bench.sh --smoke

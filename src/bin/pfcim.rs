@@ -30,9 +30,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pfcim::core::{
-    mine_naive_with, mine_with, HistogramSink, JsonlSink, MinerConfig, SearchStrategy, Tee,
-};
+use pfcim::core::{Algorithm, HistogramSink, JsonlSink, Miner, MinerConfig, SearchStrategy, Tee};
 use pfcim::utdb::io;
 
 struct Args {
@@ -188,11 +186,16 @@ fn main() -> ExitCode {
     let mut hist = (args.stats || args.metrics.is_some()).then(HistogramSink::new);
     let outcome = {
         let mut sink = Tee(trace_sink.as_mut().map(|(_, s)| s), hist.as_mut());
-        if args.variant == "naive" {
-            mine_naive_with(&db, &config, &mut sink)
-        } else {
-            mine_with(&db, &config, &mut sink)
-        }
+        let algorithm = match args.variant.as_str() {
+            "naive" => Algorithm::Naive,
+            "bfs" => Algorithm::Bfs,
+            _ => Algorithm::Dfs,
+        };
+        Miner::new(&db)
+            .config(config.clone())
+            .algorithm(algorithm)
+            .sink(&mut sink)
+            .run()
     };
     if let Some((path, sink)) = trace_sink {
         // A write failure anywhere mid-run is latched in the sink and
@@ -232,6 +235,7 @@ fn main() -> ExitCode {
     );
     if args.stats {
         eprintln!("{}", outcome.timed_stats());
+        eprintln!("# kernel: {}", outcome.kernel);
         if let Some(hist) = &hist {
             for (name, h) in hist.snapshot().histograms() {
                 eprintln!("# {name}: {}", h.summary());

@@ -16,7 +16,10 @@ pub use pfim;
 pub use prob;
 pub use utdb;
 
+pub use pfcim_core::prelude;
+#[allow(deprecated)]
+pub use pfcim_core::{mine, mine_bfs, mine_dfs, mine_naive};
 pub use pfcim_core::{
-    mine, mine_bfs, mine_dfs, mine_naive, FcpMethod, MinerConfig, MinerStats, MiningOutcome, Pfci,
+    Algorithm, FcpMethod, KernelStats, Miner, MinerConfig, MinerStats, MiningOutcome, Pfci,
     PruningConfig, SearchStrategy, Variant,
 };

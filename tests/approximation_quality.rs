@@ -30,7 +30,7 @@ fn family(db: &UncertainDatabase, x: &[Item], min_sup: usize) -> NonClosureEvent
     let ext = (0..db.num_items() as u32)
         .map(Item)
         .filter(|i| x.binary_search(i).is_err());
-    NonClosureEvents::build(db, &db.tidset_of_itemset(x), ext, min_sup)
+    NonClosureEvents::build(db, &db.tidset_of_itemset(x).into_bitmap(), ext, min_sup)
 }
 
 #[test]

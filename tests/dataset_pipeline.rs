@@ -1,11 +1,15 @@
 //! End-to-end pipeline: generate → overlay Gaussian probabilities →
 //! serialize → reload → mine, through the public facade only.
 
-use pfcim::core::{mine, MinerConfig};
+use pfcim::core::{Miner, MinerConfig, MiningOutcome};
 use pfcim::utdb::gen::{MushroomConfig, QuestConfig};
 use pfcim::utdb::{assign_gaussian_probabilities, io};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+fn mine(db: &pfcim::utdb::UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+    Miner::new(db).config(cfg.clone()).run()
+}
 
 #[test]
 fn quest_pipeline_round_trips_and_mines() {

@@ -4,11 +4,46 @@
 //! round trip through a real file.
 
 use pfcim::core::{
-    mine_bfs_with, mine_dfs_with, mine_naive_with, parse_jsonl, CountingSink, HistogramSink,
-    JsonlSink, MinerConfig, MiningOutcome, NullSink, Phase, RecordingSink, SearchStrategy,
-    TraceEvent,
+    parse_jsonl, Algorithm, CountingSink, HistogramSink, JsonlSink, Miner, MinerConfig,
+    MiningOutcome, NullSink, Phase, RecordingSink, SearchStrategy, ShardableSink, TraceEvent,
 };
 use pfcim::utdb::UncertainDatabase;
+
+fn mine_dfs_with<S: ShardableSink + ?Sized>(
+    db: &UncertainDatabase,
+    cfg: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
+    Miner::new(db)
+        .config(cfg.clone())
+        .algorithm(Algorithm::Dfs)
+        .sink(sink)
+        .run()
+}
+
+fn mine_bfs_with<S: ShardableSink + ?Sized>(
+    db: &UncertainDatabase,
+    cfg: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
+    Miner::new(db)
+        .config(cfg.clone())
+        .algorithm(Algorithm::Bfs)
+        .sink(sink)
+        .run()
+}
+
+fn mine_naive_with<S: ShardableSink + ?Sized>(
+    db: &UncertainDatabase,
+    cfg: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
+    Miner::new(db)
+        .config(cfg.clone())
+        .algorithm(Algorithm::Naive)
+        .sink(sink)
+        .run()
+}
 
 fn table2() -> UncertainDatabase {
     UncertainDatabase::parse_symbolic(&[

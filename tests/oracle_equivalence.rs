@@ -2,8 +2,21 @@
 //! databases, every mining configuration must reproduce the result set of
 //! the brute-force possible-world oracle exactly.
 
-use pfcim::core::{exact_pfci_set, mine, mine_naive, FcpMethod, MinerConfig, Variant};
+use pfcim::core::{
+    exact_pfci_set, Algorithm, FcpMethod, Miner, MinerConfig, MiningOutcome, Variant,
+};
 use pfcim::utdb::{Item, ItemDictionary, UncertainDatabase, UncertainTransaction};
+
+fn mine(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+    Miner::new(db).config(cfg.clone()).run()
+}
+
+fn mine_naive(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+    Miner::new(db)
+        .config(cfg.clone())
+        .algorithm(Algorithm::Naive)
+        .run()
+}
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 

@@ -1,8 +1,19 @@
 //! End-to-end regression of every worked example in the paper, driven
 //! through the public facade.
 
-use pfcim::core::{exact_fcp_by_worlds, mine, mine_naive, FcpMethod, MinerConfig};
+use pfcim::core::{exact_fcp_by_worlds, Algorithm, FcpMethod, Miner, MinerConfig, MiningOutcome};
 use pfcim::utdb::{Item, PossibleWorlds, UncertainDatabase};
+
+fn mine(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+    Miner::new(db).config(cfg.clone()).run()
+}
+
+fn mine_naive(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+    Miner::new(db)
+        .config(cfg.clone())
+        .algorithm(Algorithm::Naive)
+        .run()
+}
 
 fn table2() -> UncertainDatabase {
     UncertainDatabase::parse_symbolic(&[

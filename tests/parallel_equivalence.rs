@@ -21,13 +21,45 @@
 use std::io::{self, Write};
 
 use pfcim::core::{
-    mine_dfs_with, mine_naive_with, mine_with, parse_jsonl, CountingSink, FcpMethod, JsonlSink,
-    MinerConfig, MiningOutcome, NullSink, TraceEvent, Variant,
+    parse_jsonl, Algorithm, CountingSink, FcpMethod, JsonlSink, Miner, MinerConfig, MiningOutcome,
+    NullSink, ShardableSink, TraceEvent, Variant,
 };
 use pfcim::utdb::gen::{MushroomConfig, QuestConfig};
 use pfcim::utdb::{assign_gaussian_probabilities, UncertainDatabase};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+fn mine_with<S: ShardableSink + ?Sized>(
+    db: &UncertainDatabase,
+    cfg: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
+    Miner::new(db).config(cfg.clone()).sink(sink).run()
+}
+
+fn mine_dfs_with<S: ShardableSink + ?Sized>(
+    db: &UncertainDatabase,
+    cfg: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
+    Miner::new(db)
+        .config(cfg.clone())
+        .algorithm(Algorithm::Dfs)
+        .sink(sink)
+        .run()
+}
+
+fn mine_naive_with<S: ShardableSink + ?Sized>(
+    db: &UncertainDatabase,
+    cfg: &MinerConfig,
+    sink: &mut S,
+) -> MiningOutcome {
+    Miner::new(db)
+        .config(cfg.clone())
+        .algorithm(Algorithm::Naive)
+        .sink(sink)
+        .run()
+}
 
 fn thread_counts() -> Vec<usize> {
     match std::env::var("PFCIM_TEST_THREADS") {

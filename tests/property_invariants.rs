@@ -1,10 +1,14 @@
 //! Property-based invariants (proptest) over randomly generated uncertain
 //! databases, exercising the full stack through the facade.
 
-use pfcim::core::{exact_fcp_by_worlds, mine, FcpMethod, MinerConfig};
+use pfcim::core::{exact_fcp_by_worlds, FcpMethod, Miner, MinerConfig, MiningOutcome};
 use pfcim::prob::SupportDistribution;
 use pfcim::utdb::{Item, ItemDictionary, TidSet, UncertainDatabase, UncertainTransaction};
 use proptest::prelude::*;
+
+fn mine(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+    Miner::new(db).config(cfg.clone()).run()
+}
 
 /// Strategy: a small random uncertain database (≤ 10 tuples, ≤ 6 items).
 fn arb_utdb() -> impl Strategy<Value = UncertainDatabase> {

@@ -3,9 +3,13 @@
 //! have frequent closed probability 0 (structural prunings) or below the
 //! threshold (probabilistic prunings).
 
-use pfcim::core::{exact_fcp_by_worlds, mine, FcpMethod, MinerConfig, Variant};
+use pfcim::core::{exact_fcp_by_worlds, FcpMethod, Miner, MinerConfig, MiningOutcome, Variant};
 use pfcim::prob::hoeffding::hoeffding_infrequent;
 use pfcim::utdb::{Item, ItemDictionary, UncertainDatabase, UncertainTransaction};
+
+fn mine(db: &UncertainDatabase, cfg: &MinerConfig) -> MiningOutcome {
+    Miner::new(db).config(cfg.clone()).run()
+}
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
