@@ -1,0 +1,20 @@
+//! Write the high-probability smoke dataset as a plain-text `.dat`
+//! file — the input `scripts/ci.sh` feeds to `pfcim profile` and
+//! `pfcim --prom` to exercise the exporters end-to-end.
+//!
+//! ```text
+//! cargo run -p pfcim-bench --example gen_smoke_dat -- [PATH]
+//! ```
+
+use std::path::Path;
+
+use pfcim_bench::datasets::{BenchDataset, Scale};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "smoke.dat".to_owned());
+    let db = BenchDataset::HighProb.uncertain(Scale::Tiny, 42);
+    utdb::io::write_dat(&db, Path::new(&path)).expect("write dataset");
+    eprintln!("wrote {path} ({} transactions, {})", db.len(), db.stats());
+}

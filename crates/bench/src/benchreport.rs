@@ -21,11 +21,16 @@ use pfcim_core::HistogramSummary;
 /// top-level `threads` field (the miner worker count the matrix ran
 /// with); version 3 added the per-entry `kernel` counter map (the
 /// [`pfcim_core::KernelStats`] counters: incremental-vs-recomputed DP
-/// rows, bound-cache hits/misses, bitmap words scanned). Version-1 and
-/// version-2 documents are still accepted by [`BenchReport::from_json`]:
-/// v1 reads as `threads = 1` — everything before the parallel miner was
-/// sequential — and pre-v3 entries read with an empty kernel map.
-pub const SCHEMA_VERSION: u64 = 3;
+/// rows, bound-cache hits/misses, bitmap words scanned); version 4 added
+/// the per-entry `span_s` profiler rollup (total seconds per span kind
+/// from a sampled [`pfcim_core::SpanProfiler`]) and the `audit` map (the
+/// [`pfcim_core::DpAudit`] per-reason DP decision counters). Version-1
+/// through version-3 documents are still accepted by
+/// [`BenchReport::from_json`]: v1 reads as `threads = 1` — everything
+/// before the parallel miner was sequential — pre-v3 entries read with
+/// an empty kernel map, and pre-v4 entries read with empty span/audit
+/// maps.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema version [`BenchReport::from_json`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -349,6 +354,15 @@ pub struct BenchEntry {
     /// vs recomputed DP rows, bound-cache hits/misses, bitmap words
     /// scanned. Empty for pre-v3 reports, which predate the counters.
     pub kernel: BTreeMap<String, u64>,
+    /// Profiler span rollup: total seconds per span kind (`run`, `node`,
+    /// phase names, pool span kinds) from a sampled
+    /// [`pfcim_core::SpanProfiler`] attached to the cell. Empty for
+    /// pre-v4 reports, which predate the profiler.
+    pub span_s: BTreeMap<String, f64>,
+    /// DP decision-audit counters ([`pfcim_core::DpAudit::named`]): how
+    /// every frequentness-DP row was produced (incremental downdate vs
+    /// each rebuild reason). Empty for pre-v4 reports.
+    pub audit: BTreeMap<String, u64>,
     /// Node-to-node latency distribution (seconds).
     pub node_latency: HistogramSummary,
     /// Peak RSS in bytes over the cell (`0` when `/proc` is unreadable;
@@ -383,7 +397,7 @@ impl BenchEntry {
             "{{\"dataset\":\"{}\",\"algo\":\"{}\",\"min_sup_rel\":{},\
              \"elapsed_s\":{},\"timed_out\":{},\"nodes\":{},\"nodes_per_s\":{},\
              \"results\":{},\"phase_s\":{},\"prune\":{},\"kernel\":{},\
-             \"node_latency\":{},\
+             \"span_s\":{},\"audit\":{},\"node_latency\":{},\
              \"peak_rss_bytes\":{},\"peak_alloc_bytes\":{},\"allocations\":{}}}",
             self.dataset,
             self.algo,
@@ -396,6 +410,8 @@ impl BenchEntry {
             map_num(&self.phase_s),
             map_int(&self.prune),
             map_int(&self.kernel),
+            map_num(&self.span_s),
+            map_int(&self.audit),
             self.node_latency.to_json(),
             self.peak_rss_bytes,
             self.peak_alloc_bytes,
@@ -559,20 +575,41 @@ fn entry_from_json(v: &JsonValue) -> Result<BenchEntry, String> {
                 .ok_or(format!("prune[{k:?}] is not an integer"))
         })
         .collect::<Result<BTreeMap<_, _>, _>>()?;
-    // Pre-v3 entries have no kernel map; read them as empty.
-    let kernel = match v.get("kernel") {
-        None => BTreeMap::new(),
-        Some(k) => k
-            .as_obj()
-            .ok_or("field \"kernel\" is not an object")?
-            .iter()
-            .map(|(k, x)| {
-                x.as_u64()
-                    .map(|x| (k.clone(), x))
-                    .ok_or(format!("kernel[{k:?}] is not an integer"))
-            })
-            .collect::<Result<BTreeMap<_, _>, _>>()?,
+    // Pre-v3 entries have no kernel map; read them as empty. The same
+    // treatment applies to the v4 span/audit maps below.
+    let opt_int_map = |name: &str| -> Result<BTreeMap<String, u64>, String> {
+        match v.get(name) {
+            None => Ok(BTreeMap::new()),
+            Some(k) => k
+                .as_obj()
+                .ok_or(format!("field {name:?} is not an object"))?
+                .iter()
+                .map(|(k, x)| {
+                    x.as_u64()
+                        .map(|x| (k.clone(), x))
+                        .ok_or(format!("{name}[{k:?}] is not an integer"))
+                })
+                .collect(),
+        }
     };
+    let opt_num_map = |name: &str| -> Result<BTreeMap<String, f64>, String> {
+        match v.get(name) {
+            None => Ok(BTreeMap::new()),
+            Some(k) => k
+                .as_obj()
+                .ok_or(format!("field {name:?} is not an object"))?
+                .iter()
+                .map(|(k, x)| {
+                    x.as_f64()
+                        .map(|x| (k.clone(), x))
+                        .ok_or(format!("{name}[{k:?}] is not a number"))
+                })
+                .collect(),
+        }
+    };
+    let kernel = opt_int_map("kernel")?;
+    let span_s = opt_num_map("span_s")?;
+    let audit = opt_int_map("audit")?;
     Ok(BenchEntry {
         dataset: field_str(v, "dataset")?,
         algo: field_str(v, "algo")?,
@@ -585,6 +622,8 @@ fn entry_from_json(v: &JsonValue) -> Result<BenchEntry, String> {
         phase_s,
         prune,
         kernel,
+        span_s,
+        audit,
         node_latency: summary_from_json(
             v.get("node_latency")
                 .ok_or("missing field \"node_latency\"")?,
@@ -695,6 +734,12 @@ mod tests {
         let mut kernel = BTreeMap::new();
         kernel.insert("dp_incremental".to_owned(), 40);
         kernel.insert("dp_recomputed".to_owned(), 9);
+        let mut span_s = BTreeMap::new();
+        span_s.insert("node".to_owned(), elapsed_s / 3.0);
+        span_s.insert("run".to_owned(), elapsed_s);
+        let mut audit = BTreeMap::new();
+        audit.insert("incremental".to_owned(), 40);
+        audit.insert("fresh_root".to_owned(), 9);
         let mut latency = pfcim_core::Histogram::new();
         for v in [1e-6, 2e-6, 3e-6] {
             latency.record(v);
@@ -711,6 +756,8 @@ mod tests {
             phase_s,
             prune,
             kernel,
+            span_s,
+            audit,
             node_latency: latency.summary(),
             peak_rss_bytes: 1 << 20,
             peak_alloc_bytes: 0,
@@ -791,6 +838,30 @@ mod tests {
             .replace("\"dp_incremental\":40", "\"dp_incremental\":\"many\"");
         let err = BenchReport::from_json(&bad).unwrap_err();
         assert!(err.contains("dp_incremental"), "{err}");
+    }
+
+    #[test]
+    fn pre_v4_entries_parse_with_empty_span_and_audit_maps() {
+        // A v3 document predating the profiler rollup and audit map.
+        let mut report = sample_report(1.0);
+        report.version = 3;
+        let v3_json = report
+            .to_json()
+            .replace("\"span_s\":{\"node\":0.3333333333333333,\"run\":1},", "")
+            .replace("\"span_s\":{\"node\":0.6666666666666666,\"run\":2},", "")
+            .replace("\"audit\":{\"fresh_root\":9,\"incremental\":40},", "");
+        assert!(!v3_json.contains("span_s") && !v3_json.contains("audit"));
+        let parsed = BenchReport::from_json(&v3_json).unwrap();
+        assert_eq!(parsed.version, 3);
+        for e in &parsed.entries {
+            assert!(e.span_s.is_empty() && e.audit.is_empty());
+        }
+        // Malformed maps are still errors, not silently empty.
+        let bad = sample_report(1.0)
+            .to_json()
+            .replace("\"fresh_root\":9", "\"fresh_root\":\"lots\"");
+        let err = BenchReport::from_json(&bad).unwrap_err();
+        assert!(err.contains("fresh_root"), "{err}");
     }
 
     #[test]

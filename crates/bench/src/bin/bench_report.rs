@@ -35,8 +35,8 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 use pfcim_bench::benchreport::{self, BenchEntry, BenchReport, SCHEMA_VERSION};
 use pfcim_bench::experiments::{bench_cells, BenchCell, DEFAULT_CELL_BUDGET};
 use pfcim_bench::report::Table;
-use pfcim_bench::{DatasetKind, Scale};
-use pfcim_core::{HistogramSink, Phase};
+use pfcim_bench::{BenchDataset, Scale};
+use pfcim_core::{HistogramSink, Phase, SpanProfiler, Tee};
 
 #[cfg(feature = "track-alloc")]
 #[global_allocator]
@@ -182,12 +182,17 @@ fn gate(baseline: &BenchReport, current: &BenchReport, fail_pct: f64) -> bool {
     }
 }
 
+/// Sampling rate of the per-cell span profiler: every 64th DFS node gets
+/// a full span, which keeps the overhead well under the regression-gate
+/// noise while still yielding a representative rollup.
+const SPAN_SAMPLE_EVERY: u32 = 64;
+
 fn run_cell(
     cell: &BenchCell,
     db: &utdb::UncertainDatabase,
     budget: Duration,
     threads: usize,
-) -> BenchEntry {
+) -> Result<BenchEntry, String> {
     // Rebase both memory high-water marks so the cell reports its own
     // peak (best-effort for RSS; see `benchreport::reset_peak_rss`).
     benchreport::reset_peak_rss();
@@ -203,8 +208,31 @@ fn run_cell(
         .config(min_sup)
         .with_time_budget(budget)
         .with_threads(threads);
-    let mut sink = HistogramSink::new();
+    let mut sink = Tee(
+        HistogramSink::new(),
+        SpanProfiler::new().with_sampling(SPAN_SAMPLE_EVERY),
+    );
     let outcome = cell.algo.run(db, &cfg, &mut sink);
+    let Tee(sink, profiler) = sink;
+
+    // The decision audit must reconcile exactly with the kernel
+    // counters: every DP row is either downdated or recomputed for a
+    // recorded reason. A mismatch means an unaudited DP path.
+    let audit = &outcome.audit;
+    let kernel = &outcome.kernel;
+    if audit.incremental != kernel.dp_incremental || audit.recomputed() != kernel.dp_recomputed {
+        return Err(format!(
+            "{}/{}: DP audit does not reconcile with kernel counters: \
+             incremental {} vs {}, recomputed {} (refusals {}) vs {}",
+            cell.dataset.name(),
+            cell.algo.name(),
+            audit.incremental,
+            kernel.dp_incremental,
+            audit.recomputed(),
+            audit.refusals(),
+            kernel.dp_recomputed,
+        ));
+    }
 
     #[cfg(feature = "track-alloc")]
     let (peak_alloc_bytes, allocations) = {
@@ -219,7 +247,7 @@ fn run_cell(
 
     let elapsed_s = outcome.elapsed.as_secs_f64();
     let stats = &outcome.stats;
-    BenchEntry {
+    Ok(BenchEntry {
         dataset: cell.dataset.name().to_owned(),
         algo: cell.algo.name().to_owned(),
         min_sup_rel: cell.min_sup_rel,
@@ -252,11 +280,21 @@ fn run_cell(
             .into_iter()
             .map(|(k, v)| (k.to_owned(), v))
             .collect(),
+        span_s: profiler
+            .rollup()
+            .into_iter()
+            .map(|(name, (seconds, _count))| (name, seconds))
+            .collect(),
+        audit: audit
+            .named()
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
         node_latency: sink.node_latency().summary(),
         peak_rss_bytes: benchreport::peak_rss_bytes().unwrap_or(0),
         peak_alloc_bytes,
         allocations,
-    }
+    })
 }
 
 fn run_matrix(args: &RunArgs) -> Result<BenchReport, String> {
@@ -286,10 +324,10 @@ fn run_matrix(args: &RunArgs) -> Result<BenchReport, String> {
             "dataset", "algo", "min_sup", "time_s", "nodes/s", "results", "peak_rss",
         ],
     );
-    for dataset in DatasetKind::ALL {
+    for dataset in BenchDataset::ALL {
         let db = dataset.uncertain(args.scale, 42);
         for cell in cells.iter().filter(|c| c.dataset == dataset) {
-            let entry = run_cell(cell, &db, args.budget, args.threads);
+            let entry = run_cell(cell, &db, args.budget, args.threads)?;
             table.push_row(vec![
                 entry.dataset.clone(),
                 entry.algo.clone(),
@@ -307,6 +345,33 @@ fn run_matrix(args: &RunArgs) -> Result<BenchReport, String> {
         }
     }
     println!("\n{}", table.to_text());
+    if args.smoke {
+        // The smoke matrix exists partly to keep the incremental-DP
+        // downdate path exercised in CI: the high-probability dataset is
+        // tuned (uniform [0.6, 0.9] band, absolute min_sup 3) so the
+        // amp-limit guard admits downdates. Zero here means the fast
+        // path silently died.
+        let high_prob = entries
+            .iter()
+            .find(|e| e.dataset == BenchDataset::HighProb.name() && e.algo == "MPFCI")
+            .ok_or("smoke matrix is missing the HighProb MPFCI cell")?;
+        let incremental = high_prob.audit.get("incremental").copied().unwrap_or(0);
+        if incremental == 0 {
+            return Err(format!(
+                "smoke: HighProb MPFCI cell recorded no incremental DP downdates \
+                 (audit: {:?})",
+                high_prob.audit
+            ));
+        }
+        println!(
+            "smoke: HighProb MPFCI cell exercised the incremental DP \
+             ({incremental} downdates, {} refused)",
+            ["amp_limit", "row_validation", "degenerate"]
+                .iter()
+                .map(|k| high_prob.audit.get(*k).copied().unwrap_or(0))
+                .sum::<u64>(),
+        );
+    }
     Ok(BenchReport {
         version: SCHEMA_VERSION,
         label: args.label.clone(),

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [EXPERIMENTS...] [--scale tiny|laptop|paper] [--budget SECONDS]
 //!       [--out DIR] [--threads N] [--trace FILE.jsonl] [--progress]
+//!       [--metrics FILE.json]
 //!
 //! EXPERIMENTS: all (default), fig5, fig6, fig7, fig8, fig9, fig10,
 //!              fig11, fig12, table7, table8
@@ -20,6 +21,9 @@
 //! and reconciles its per-event aggregates against the live
 //! [`MinerStats`](pfcim_core::MinerStats) totals printed at the end.
 //! `--progress` prints a throttled heartbeat to stderr while mining.
+//! `--metrics` accumulates every mediated run into one
+//! [`HistogramSink`](pfcim_core::HistogramSink) and writes the registry
+//! snapshot as a JSON object on exit.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,6 +40,7 @@ struct Args {
     out: PathBuf,
     trace: Option<PathBuf>,
     progress: bool,
+    metrics: Option<PathBuf>,
 }
 
 const ALL_EXPERIMENTS: [&str; 10] = [
@@ -49,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("results");
     let mut trace = None;
     let mut progress = false;
+    let mut metrics = None;
     let mut threads: Option<usize> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -74,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
                 trace = Some(PathBuf::from(argv.next().ok_or("--trace needs a value")?));
             }
             "--progress" => progress = true,
+            "--metrics" => {
+                metrics = Some(PathBuf::from(argv.next().ok_or("--metrics needs a value")?));
+            }
             "--help" | "-h" => return Err(String::new()),
             "all" => experiments.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             name if ALL_EXPERIMENTS.contains(&name) => experiments.push(name.to_owned()),
@@ -103,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         trace,
         progress,
+        metrics,
     })
 }
 
@@ -116,7 +126,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro [EXPERIMENTS...] [--scale tiny|laptop|paper] \
                  [--budget SECONDS] [--out DIR] [--threads N] [--trace FILE.jsonl] \
-                 [--progress]\n\
+                 [--progress] [--metrics FILE.json]\n\
                  EXPERIMENTS: all {}",
                 ALL_EXPERIMENTS.join(" ")
             );
@@ -136,6 +146,9 @@ fn main() -> ExitCode {
     }
     if args.progress {
         obs = obs.with_progress();
+    }
+    if let Some(path) = &args.metrics {
+        obs = obs.with_metrics(path);
     }
 
     println!(

@@ -13,7 +13,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use utdb::gen::{MushroomConfig, QuestConfig};
-use utdb::{assign_gaussian_probabilities, UncertainDatabase};
+use utdb::{assign_gaussian_probabilities, assign_uniform_probabilities, UncertainDatabase};
 
 /// Dataset sizes for a reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +131,99 @@ impl DatasetKind {
     }
 }
 
+/// A dataset of the `bench-report` benchmark matrix: one of the paper's
+/// evaluation pair, or the high-probability configuration that exercises
+/// the incremental frequentness-DP downdate path.
+///
+/// The figure drivers keep using [`DatasetKind::ALL`] — the paper plots
+/// only its own two datasets — while the kernel-benchmark matrix adds
+/// [`BenchDataset::HighProb`] so CI observes `dp_incremental > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchDataset {
+    /// One of the paper's evaluation datasets under its default Gaussian.
+    Paper(DatasetKind),
+    /// A sparse Quest-style base (60 items, average transaction length 4)
+    /// with existential probabilities drawn uniformly from `[0.6, 0.9]`.
+    ///
+    /// The uniform high band plus a *tiny* absolute `min_sup` keep every
+    /// transaction-removal downdate inside the DP amplification guard
+    /// (`(min_sup − 1) · ln(p/(1−p)) ≤ ln(1/dp_stability)`; with the
+    /// default `dp_stability = 1e-2` and `p ≤ 0.9` that bounds
+    /// `min_sup ≤ 3`), so the incremental path actually fires instead of
+    /// refusing into a fresh recomputation.
+    HighProb,
+}
+
+/// Row count of the [`BenchDataset::HighProb`] dataset. Fixed across
+/// [`Scale`]s: its relative `min_sup` of [`HIGHPROB_MIN_SUP_REL`] must
+/// resolve to an absolute support of 3 for the amp-guard bound above to
+/// hold, so the rows cannot grow with the scale.
+pub const HIGHPROB_ROWS: usize = 300;
+
+/// Relative minimum support of the `HighProb` benchmark cells:
+/// `0.01 × 300 rows = 3` absolute.
+pub const HIGHPROB_MIN_SUP_REL: f64 = 0.01;
+
+impl BenchDataset {
+    /// All benchmark-matrix datasets: the paper pair, then `HighProb`.
+    pub const ALL: [BenchDataset; 3] = [
+        BenchDataset::Paper(DatasetKind::Mushroom),
+        BenchDataset::Paper(DatasetKind::Quest),
+        BenchDataset::HighProb,
+    ];
+
+    /// Display name used in `BENCH_*.json` entry keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchDataset::Paper(kind) => kind.name(),
+            BenchDataset::HighProb => "HighProbUniform",
+        }
+    }
+
+    /// Default relative minimum support for benchmark cells.
+    pub fn default_min_sup_rel(self) -> f64 {
+        match self {
+            BenchDataset::Paper(kind) => kind.default_min_sup_rel(),
+            BenchDataset::HighProb => HIGHPROB_MIN_SUP_REL,
+        }
+    }
+
+    /// The relative supports the *full* (non-smoke) matrix sweeps.
+    pub fn bench_min_sup_rels(self) -> Vec<f64> {
+        match self {
+            BenchDataset::Paper(kind) => {
+                let top = *kind.min_sup_grid().last().expect("non-empty grid");
+                vec![kind.default_min_sup_rel(), top]
+            }
+            // A higher support would push the absolute threshold past the
+            // amp-guard bound and turn the cell into a refusal benchmark.
+            BenchDataset::HighProb => vec![HIGHPROB_MIN_SUP_REL],
+        }
+    }
+
+    /// Generate the uncertain benchmark dataset.
+    pub fn uncertain(self, scale: Scale, seed: u64) -> UncertainDatabase {
+        match self {
+            BenchDataset::Paper(kind) => kind.uncertain(scale, seed),
+            BenchDataset::HighProb => {
+                let cfg = QuestConfig {
+                    num_transactions: HIGHPROB_ROWS,
+                    avg_transaction_len: 4.0,
+                    avg_pattern_len: 2.0,
+                    num_items: 60,
+                    num_patterns: 20,
+                    correlation: 0.5,
+                    corruption_mean: 0.5,
+                    corruption_dev: 0.1,
+                };
+                let base = cfg.generate(&mut SmallRng::seed_from_u64(seed));
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9);
+                assign_uniform_probabilities(&base, 0.6, 0.9, &mut rng)
+            }
+        }
+    }
+}
+
 /// Turn a relative minimum support into an absolute count (at least 1).
 pub fn abs_min_sup(db: &UncertainDatabase, rel: f64) -> usize {
     ((rel * db.len() as f64).round() as usize).max(1)
@@ -172,6 +265,42 @@ mod tests {
     fn gaussian_defaults_match_paper() {
         assert_eq!(DatasetKind::Mushroom.default_gaussian(), (0.5, 0.5));
         assert_eq!(DatasetKind::Quest.default_gaussian(), (0.8, 0.1));
+    }
+
+    #[test]
+    fn high_prob_dataset_sits_in_the_downdate_safe_regime() {
+        let db = BenchDataset::HighProb.uncertain(Scale::Laptop, 42);
+        assert_eq!(db.len(), HIGHPROB_ROWS);
+        // Probabilities stay in the uniform band.
+        assert!(db
+            .transactions()
+            .iter()
+            .all(|t| (0.6..=0.9).contains(&t.probability())));
+        // The default relative support resolves to the amp-guard bound.
+        assert_eq!(
+            abs_min_sup(&db, BenchDataset::HighProb.default_min_sup_rel()),
+            3
+        );
+        // Scale does not change the rows (the bound depends on it).
+        assert_eq!(
+            BenchDataset::HighProb.uncertain(Scale::Tiny, 42).len(),
+            HIGHPROB_ROWS
+        );
+        // Deterministic under seed.
+        let again = BenchDataset::HighProb.uncertain(Scale::Laptop, 42);
+        for (a, b) in db.transactions().iter().zip(again.transactions()) {
+            assert_eq!(a.items(), b.items());
+            assert_eq!(a.probability(), b.probability());
+        }
+    }
+
+    #[test]
+    fn bench_dataset_names_are_unique() {
+        let mut names: Vec<&str> = BenchDataset::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BenchDataset::ALL.len());
+        assert_eq!(BenchDataset::HighProb.name(), "HighProbUniform");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::time::Duration;
 use pfcim_core::{Algorithm, FcpMethod, Miner, MinerConfig, MiningOutcome, ShardableSink, Variant};
 use utdb::UncertainDatabase;
 
-use crate::datasets::{abs_min_sup, DatasetKind, Scale};
+use crate::datasets::{abs_min_sup, BenchDataset, DatasetKind, Scale};
 use crate::observe::Observe;
 use crate::report::{phase_cells, phase_headers, secs, Table};
 
@@ -475,7 +475,7 @@ impl BenchAlgo {
 #[derive(Debug, Clone, Copy)]
 pub struct BenchCell {
     /// Dataset of the cell.
-    pub dataset: DatasetKind,
+    pub dataset: BenchDataset,
     /// Algorithm of the cell.
     pub algo: BenchAlgo,
     /// Relative minimum support.
@@ -483,20 +483,21 @@ pub struct BenchCell {
 }
 
 /// The dataset × algorithm matrix `bench-report` runs: every algorithm
-/// on both datasets, at the dataset's default `min_sup` plus the top of
-/// its sweep grid. `smoke` keeps only the default support level (the
-/// search does real work there at every scale) — the cheap
-/// configuration `scripts/ci.sh` gates on.
+/// on the paper's two datasets — at the dataset's default `min_sup`
+/// plus the top of its sweep grid — and on the high-probability dataset
+/// whose tiny absolute support keeps the incremental frequentness-DP
+/// downdates inside the amplification guard. `smoke` keeps only each
+/// dataset's default support level (the search does real work there at
+/// every scale) — the cheap configuration `scripts/ci.sh` gates on.
 pub fn bench_cells(smoke: bool) -> Vec<BenchCell> {
     let mut cells = Vec::new();
-    for dataset in DatasetKind::ALL {
-        let top = *dataset
-            .min_sup_grid()
-            .last()
-            .expect("sweep grids are non-empty");
-        let default = dataset.default_min_sup_rel();
-        let rels: &[f64] = if smoke { &[default] } else { &[default, top] };
-        for &min_sup_rel in rels {
+    for dataset in BenchDataset::ALL {
+        let rels: Vec<f64> = if smoke {
+            vec![dataset.default_min_sup_rel()]
+        } else {
+            dataset.bench_min_sup_rels()
+        };
+        for min_sup_rel in rels {
             for algo in BenchAlgo::ALL {
                 cells.push(BenchCell {
                     dataset,
@@ -622,8 +623,8 @@ mod tests {
         let smoke = bench_cells(true);
         assert!(smoke.len() < full.len());
         for cells in [&full, &smoke] {
-            for kind in DatasetKind::ALL {
-                assert!(cells.iter().any(|c| c.dataset == kind));
+            for dataset in BenchDataset::ALL {
+                assert!(cells.iter().any(|c| c.dataset == dataset));
             }
             for algo in BenchAlgo::ALL {
                 assert!(cells.iter().any(|c| c.algo == algo));

@@ -22,6 +22,6 @@ pub mod observe;
 pub mod report;
 
 pub use benchreport::{BenchEntry, BenchReport};
-pub use datasets::{DatasetKind, Scale};
+pub use datasets::{BenchDataset, DatasetKind, Scale};
 pub use observe::Observe;
 pub use report::Table;

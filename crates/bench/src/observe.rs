@@ -1,8 +1,9 @@
 //! Observability plumbing for the experiment drivers.
 //!
 //! [`Observe`] bundles the optional run-level sinks the `repro` binary
-//! can enable — a [`JsonlSink`] (`--trace FILE.jsonl`) and a
-//! [`ProgressSink`] (`--progress`) — and mediates every mining run the
+//! can enable — a [`JsonlSink`] (`--trace FILE.jsonl`), a
+//! [`ProgressSink`] (`--progress`) and a [`HistogramSink`]
+//! (`--metrics FILE.json`) — and mediates every mining run the
 //! drivers perform. It also accumulates the [`MinerStats`] and
 //! [`PhaseTimers`] totals of those runs, so a written trace can be
 //! reconciled event-by-event against the printed aggregates
@@ -14,8 +15,8 @@ use std::path::{Path, PathBuf};
 
 use pfcim_core::trace::parse_jsonl;
 use pfcim_core::{
-    Algorithm, CountingSink, JsonlSink, KernelStats, Miner, MinerConfig, MinerStats, MiningOutcome,
-    PhaseTimers, ProgressSink, Tee,
+    Algorithm, CountingSink, HistogramSink, JsonlSink, KernelStats, Miner, MinerConfig, MinerStats,
+    MiningOutcome, PhaseTimers, ProgressSink, Tee,
 };
 use utdb::UncertainDatabase;
 
@@ -25,6 +26,7 @@ use utdb::UncertainDatabase;
 pub struct Observe {
     trace: Option<(PathBuf, JsonlSink<BufWriter<File>>)>,
     progress: Option<ProgressSink>,
+    metrics: Option<(PathBuf, HistogramSink)>,
     /// Counter totals over every mediated run.
     pub totals: MinerStats,
     /// Kernel-counter totals over every mediated run.
@@ -56,19 +58,37 @@ impl Observe {
         self
     }
 
-    /// True when a trace or progress observer is attached.
+    /// Accumulate every mediated run into a [`HistogramSink`] and write
+    /// the registry snapshot (counters, latency/size histogram
+    /// summaries, the DP decision audit) as one JSON object to `path`
+    /// on [`Observe::finish`].
+    pub fn with_metrics(mut self, path: impl AsRef<Path>) -> Self {
+        self.metrics = Some((path.as_ref().to_path_buf(), HistogramSink::new()));
+        self
+    }
+
+    /// True when a trace, progress or metrics observer is attached.
     pub fn is_active(&self) -> bool {
-        self.trace.is_some() || self.progress.is_some()
+        self.trace.is_some() || self.progress.is_some() || self.metrics.is_some()
     }
 
     /// The composed sink over whatever observers are attached.
     /// `Option<S>` sinks forward when `Some` and discard when `None`, so
     /// one expression covers all attachment combinations — with nothing
     /// attached, `is_enabled()` is false and the miners skip callbacks.
-    fn sink(&mut self) -> Tee<Option<&mut JsonlSink<BufWriter<File>>>, Option<&mut ProgressSink>> {
+    #[allow(clippy::type_complexity)]
+    fn sink(
+        &mut self,
+    ) -> Tee<
+        Option<&mut JsonlSink<BufWriter<File>>>,
+        Tee<Option<&mut ProgressSink>, Option<&mut HistogramSink>>,
+    > {
         Tee(
             self.trace.as_mut().map(|(_, sink)| sink),
-            self.progress.as_mut(),
+            Tee(
+                self.progress.as_mut(),
+                self.metrics.as_mut().map(|(_, sink)| sink),
+            ),
         )
     }
 
@@ -108,8 +128,23 @@ impl Observe {
     ///
     /// Consumes the observer — call once, after the last run.
     pub fn finish(mut self) -> Result<Option<String>, String> {
+        let mut summaries = Vec::new();
+        if let Some((path, sink)) = self.metrics.take() {
+            let json = sink.snapshot().to_json();
+            std::fs::write(&path, json + "\n")
+                .map_err(|e| format!("writing metrics {}: {e}", path.display()))?;
+            summaries.push(format!(
+                "metrics {}: snapshot over {} runs written",
+                path.display(),
+                sink.runs()
+            ));
+        }
         let Some((path, sink)) = self.trace.take() else {
-            return Ok(None);
+            return Ok(if summaries.is_empty() {
+                None
+            } else {
+                Some(summaries.join("\n# "))
+            });
         };
         // A mid-run write failure is latched inside the sink and
         // surfaces here; the event count says how much trace survived.
@@ -133,12 +168,13 @@ impl Observe {
                 counted.stats, self.totals
             ));
         }
-        Ok(Some(format!(
+        summaries.push(format!(
             "trace {}: {} events over {} runs reconcile with live stats [{}]",
             path.display(),
             events.len(),
             self.runs,
             self.totals
-        )))
+        ));
+        Ok(Some(summaries.join("\n# ")))
     }
 }

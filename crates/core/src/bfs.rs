@@ -21,7 +21,7 @@ use utdb::{Item, TidBitmap, UncertainDatabase};
 use crate::config::MinerConfig;
 use crate::evaluator::Evaluator;
 use crate::result::MiningOutcome;
-use crate::trace::{timed, MinerSink, NullSink, Phase, PruneKind};
+use crate::trace::{timed, DpDecision, MinerSink, NullSink, Phase, PruneKind};
 
 /// Mine all probabilistic frequent closed itemsets breadth-first.
 #[deprecated(note = "use `crate::miner::Miner` with `Algorithm::Bfs` instead")]
@@ -107,6 +107,7 @@ pub(crate) fn run_bfs<S: MinerSink + ?Sized>(
         stats,
         kernel,
         timers,
+        audit,
         sink,
         ..
     } = evaluator;
@@ -116,6 +117,7 @@ pub(crate) fn run_bfs<S: MinerSink + ?Sized>(
         stats,
         kernel,
         timers,
+        audit,
         elapsed: start.elapsed(),
         timed_out,
     };
@@ -167,6 +169,8 @@ fn qualify<S: MinerSink + ?Sized>(
             dp.tail()
         },
     );
+    evaluator.audit.record(DpDecision::FreshLevel);
+    evaluator.sink.dp_decision(DpDecision::FreshLevel);
     evaluator.sink.freq_prob_evaluated(pr_f);
     if pr_f <= cfg.pfct {
         evaluator.stats.freq_pruned += 1;

@@ -25,7 +25,7 @@ use crate::config::{FcpMethod, MinerConfig};
 use crate::events::{EventTable, NonClosureEvents};
 use crate::fcp::{approx_fcp_adaptive_traced, approx_fcp_chunked_traced, approx_fcp_traced};
 use crate::result::Pfci;
-use crate::stats::{KernelStats, MinerStats, PhaseTimers};
+use crate::stats::{DpAudit, KernelStats, MinerStats, PhaseTimers};
 use crate::trace::{timed, FcpEvalKind, MinerSink, Phase, PruneKind};
 
 /// Bounds intervals narrower than this are treated as decided without a
@@ -80,6 +80,7 @@ pub(crate) struct Evaluator<'a, S: MinerSink + ?Sized> {
     pub stats: MinerStats,
     pub kernel: KernelStats,
     pub timers: PhaseTimers,
+    pub audit: DpAudit,
     pub sink: &'a mut S,
     /// Resolved worker count for chunked `ApproxFCP`. `1` keeps every
     /// sampled path byte-identical to the legacy shared-RNG code.
@@ -96,6 +97,7 @@ impl<'a, S: MinerSink + ?Sized> Evaluator<'a, S> {
             stats: MinerStats::default(),
             kernel: KernelStats::default(),
             timers: PhaseTimers::default(),
+            audit: DpAudit::default(),
             sink,
             threads: cfg.effective_threads(),
             cache: EventTableCache::new(cfg.event_cache_capacity),

@@ -71,6 +71,7 @@ pub mod mpfci;
 pub mod naive;
 pub mod par;
 pub mod prelude;
+pub mod profile;
 pub mod result;
 pub mod stats;
 pub mod trace;
@@ -84,15 +85,17 @@ pub use fcp::{
     approx_fcp, approx_fcp_adaptive, approx_fcp_adaptive_traced, approx_fcp_chunked,
     approx_fcp_chunked_traced, approx_fcp_traced,
 };
-pub use metrics::{Histogram, HistogramSink, HistogramSummary, MetricsRegistry};
+pub use metrics::{lint_prometheus, Histogram, HistogramSink, HistogramSummary, MetricsRegistry};
 pub use miner::{Algorithm, Miner, SinkedMiner};
 #[allow(deprecated)]
 pub use mpfci::{mine, mine_dfs, mine_dfs_with, mine_with};
 #[allow(deprecated)]
 pub use naive::{mine_naive, mine_naive_with};
+pub use par::{PoolSpan, PoolSpanKind, PoolTrace};
+pub use profile::{Span, SpanId, SpanKind, SpanProfiler};
 pub use result::{MiningOutcome, Pfci};
-pub use stats::{KernelStats, MinerStats, PhaseTimers, TimedStats};
+pub use stats::{DpAudit, KernelStats, MinerStats, PhaseTimers, TimedStats};
 pub use trace::{
-    parse_jsonl, CountingSink, FcpEvalKind, JsonlSink, MinerSink, NullSink, Phase, ProgressSink,
-    PruneKind, RecordingSink, ShardableSink, ShardedSink, Tee, TraceEvent,
+    parse_jsonl, CountingSink, DpDecision, FcpEvalKind, JsonlSink, MinerSink, NullSink, Phase,
+    ProgressSink, PruneKind, RecordingSink, ShardableSink, ShardedSink, Tee, TraceEvent,
 };

@@ -36,7 +36,9 @@ use utdb::Item;
 use crate::config::MinerConfig;
 use crate::result::MiningOutcome;
 use crate::stats::{KernelStats, MinerStats};
-use crate::trace::{CountingSink, FcpEvalKind, MinerSink, Phase, PruneKind, ShardableSink};
+use crate::trace::{
+    CountingSink, DpDecision, FcpEvalKind, MinerSink, Phase, PruneKind, ShardableSink,
+};
 
 /// Sub-buckets per power of two: bucket boundaries grow by `2^(1/8)`.
 const SUB_BUCKETS: i64 = 8;
@@ -431,6 +433,173 @@ impl MetricsRegistry {
         out.push_str("}}");
         out
     }
+
+    /// Serialize the registry in the Prometheus text exposition format
+    /// (version 0.0.4): counters and gauges as single samples, histograms
+    /// as `summary` metrics (p50/p90/p99 `quantile` samples plus `_sum`
+    /// and `_count`). Every metric name is prefixed with `prefix` and
+    /// sanitized to the Prometheus name charset; the output passes
+    /// [`lint_prometheus`].
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let name = prom_name(prefix, name);
+            let _ = writeln!(out, "# HELP {name} Event counter {name}.");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let name = prom_name(prefix, name);
+            let _ = writeln!(out, "# HELP {name} Gauge {name}.");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", prom_f64(*v));
+        }
+        for (name, h) in &self.histograms {
+            let name = prom_name(prefix, name);
+            let s = h.summary();
+            let _ = writeln!(out, "# HELP {name} Distribution {name}.");
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", prom_f64(v));
+            }
+            let _ = writeln!(out, "{name}_sum {}", prom_f64(s.sum));
+            let _ = writeln!(out, "{name}_count {}", s.count);
+        }
+        out
+    }
+}
+
+/// `prefix_name`, restricted to the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); anything else becomes `_`.
+fn prom_name(prefix: &str, name: &str) -> String {
+    let mut out = String::with_capacity(prefix.len() + name.len() + 1);
+    for (i, c) in format!("{prefix}_{name}").chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' if i > 0 => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a Prometheus sample value.
+fn prom_f64(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_owned()
+    } else if x == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{x}")
+    }
+}
+
+fn valid_prom_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            matches!(c, 'a'..='z' | 'A'..='Z' | '_' | ':') || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn parse_prom_value(v: &str) -> bool {
+    matches!(v, "NaN" | "+Inf" | "-Inf") || v.parse::<f64>().is_ok()
+}
+
+/// A minimal linter for the Prometheus text exposition format — enough
+/// to catch malformed metric names, bad sample values, broken label
+/// syntax, and samples that stray from their most recent `# TYPE`
+/// family. Returns the first offense as `Err("line N: …")`.
+pub fn lint_prometheus(text: &str) -> Result<(), String> {
+    let fail = |n: usize, what: &str, line: &str| Err(format!("line {n}: {what}: {line:?}"));
+    let mut family: Option<(String, String)> = None; // (name, type)
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("TYPE") => {
+                    let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                        return fail(n, "incomplete TYPE line", line);
+                    };
+                    if !valid_prom_name(name) {
+                        return fail(n, "bad metric name in TYPE", line);
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return fail(n, "unknown metric type", line);
+                    }
+                    family = Some((name.to_owned(), kind.to_owned()));
+                }
+                Some("HELP") => {
+                    let Some(name) = parts.next() else {
+                        return fail(n, "incomplete HELP line", line);
+                    };
+                    if !valid_prom_name(name) {
+                        return fail(n, "bad metric name in HELP", line);
+                    }
+                }
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, rest) = match line.find('{') {
+            Some(open) => {
+                let Some(close) = line[open..].find('}') else {
+                    return fail(n, "unterminated label block", line);
+                };
+                let labels = &line[open + 1..open + close];
+                for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                    let Some((k, v)) = pair.split_once('=') else {
+                        return fail(n, "label without '='", line);
+                    };
+                    if !valid_prom_name(k) {
+                        return fail(n, "bad label name", line);
+                    }
+                    if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
+                        return fail(n, "unquoted label value", line);
+                    }
+                }
+                (&line[..open], &line[open + close + 1..])
+            }
+            None => match line.split_once(' ') {
+                Some((name, rest)) => (name, rest),
+                None => return fail(n, "sample without value", line),
+            },
+        };
+        if !valid_prom_name(name_part) {
+            return fail(n, "bad metric name", line);
+        }
+        let value = rest.trim();
+        // An optional timestamp may follow the value.
+        let value = value.split_whitespace().next().unwrap_or("");
+        if !parse_prom_value(value) {
+            return fail(n, "unparseable sample value", line);
+        }
+        if let Some((fam, kind)) = &family {
+            let member = name_part == fam
+                || (matches!(kind.as_str(), "summary" | "histogram")
+                    && (name_part == format!("{fam}_sum")
+                        || name_part == format!("{fam}_count")
+                        || (kind == "histogram" && name_part == format!("{fam}_bucket"))));
+            if !member {
+                return fail(
+                    n,
+                    "sample does not belong to the preceding TYPE family",
+                    line,
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A [`MinerSink`] recording cost distributions of a mining run:
@@ -443,6 +612,7 @@ impl MetricsRegistry {
 /// | `approx_fcp_samples` | samples drawn per sampled FCP evaluation |
 /// | `fcp_bound_width` | `upper − lower` of each Lemma 4.4 bound pair |
 /// | `freq_prob` | the exact `Pr_F` values the DP returned |
+/// | `dp_refusal_magnitude` | magnitude of each refused `TailDp` removal (`dp_decision`) |
 ///
 /// It also embeds a [`CountingSink`], so the counter side of the
 /// snapshot reconciles exactly with the run's [`MinerStats`]. Compose it
@@ -463,6 +633,7 @@ pub struct HistogramSink {
     approx_fcp_samples: Histogram,
     fcp_bound_width: Histogram,
     freq_prob: Histogram,
+    dp_refusal_magnitude: Histogram,
     elapsed: Duration,
     runs: u64,
 }
@@ -492,6 +663,12 @@ impl HistogramSink {
     /// Distribution of FCP bound widths (`upper − lower`, Lemma 4.4).
     pub fn fcp_bound_width(&self) -> &Histogram {
         &self.fcp_bound_width
+    }
+
+    /// Distribution of refusal magnitudes across refused `TailDp`
+    /// removals (amp-limit decades, row-validation violations).
+    pub fn dp_refusal_magnitude(&self) -> &Histogram {
+        &self.dp_refusal_magnitude
     }
 
     /// Total wall-clock time of the observed runs.
@@ -530,6 +707,9 @@ impl HistogramSink {
         for (name, v) in self.kernel.named() {
             reg.add(name, v);
         }
+        for (name, v) in self.counts.audit.named() {
+            reg.add(&format!("audit_{name}"), v);
+        }
         reg.set_gauge("elapsed_s", self.elapsed.as_secs_f64());
         let mut put = |name: &str, h: &Histogram| {
             if !h.is_empty() {
@@ -544,6 +724,7 @@ impl HistogramSink {
         put("approx_fcp_samples", &self.approx_fcp_samples);
         put("fcp_bound_width", &self.fcp_bound_width);
         put("freq_prob", &self.freq_prob);
+        put("dp_refusal_magnitude", &self.dp_refusal_magnitude);
         reg
     }
 }
@@ -565,6 +746,7 @@ impl HistogramSink {
         self.approx_fcp_samples.merge(&other.approx_fcp_samples);
         self.fcp_bound_width.merge(&other.fcp_bound_width);
         self.freq_prob.merge(&other.freq_prob);
+        self.dp_refusal_magnitude.merge(&other.dp_refusal_magnitude);
         self.elapsed += other.elapsed;
         self.runs += other.runs;
     }
@@ -599,6 +781,12 @@ impl MinerSink for HistogramSink {
     fn freq_prob_evaluated(&mut self, pr_f: f64) {
         self.counts.freq_prob_evaluated(pr_f);
         self.freq_prob.record(pr_f);
+    }
+    fn dp_decision(&mut self, decision: DpDecision) {
+        self.counts.dp_decision(decision);
+        if let Some(magnitude) = decision.magnitude() {
+            self.dp_refusal_magnitude.record(magnitude);
+        }
     }
     fn fcp_bounds(&mut self, lower: f64, upper: f64) {
         self.fcp_bound_width.record((upper - lower).max(0.0));
@@ -783,6 +971,72 @@ mod tests {
         assert!((width.max() - 0.4).abs() < 1e-12);
         // Empty distributions are omitted from the snapshot.
         assert!(reg.get_histogram("phase_fcp_exact_s").is_none());
+    }
+
+    #[test]
+    fn prometheus_export_passes_the_linter() {
+        let mut sink = HistogramSink::new();
+        sink.node_entered(1);
+        sink.node_entered(2);
+        sink.prune_fired(PruneKind::Superset);
+        sink.freq_prob_evaluated(0.75);
+        sink.dp_decision(DpDecision::Incremental);
+        sink.dp_decision(DpDecision::AmpLimit { magnitude: 5.5 });
+        sink.fcp_evaluated(FcpEvalKind::Sampled, 1234);
+        sink.phase_end(Phase::FreqDp, Duration::from_micros(10));
+        let text = sink.snapshot().to_prometheus("pfcim");
+        lint_prometheus(&text).expect("exporter output must lint clean");
+        // Counters carry HELP/TYPE headers and the sample value.
+        assert!(text.contains("# TYPE pfcim_nodes_visited counter"));
+        assert!(text.contains("pfcim_nodes_visited 2"));
+        // The audit counters ride along.
+        assert!(text.contains("pfcim_audit_incremental 1"));
+        assert!(text.contains("pfcim_audit_amp_limit 1"));
+        // Histograms export as summaries with quantile labels.
+        assert!(text.contains("# TYPE pfcim_node_depth summary"));
+        assert!(text.contains("pfcim_node_depth{quantile=\"0.5\"}"));
+        assert!(text.contains("pfcim_node_depth_count 2"));
+        assert!(text.contains("pfcim_dp_refusal_magnitude_count 1"));
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prom_name("pfcim", "node_latency_s"), "pfcim_node_latency_s");
+        assert_eq!(
+            prom_name("pfcim", "phase fcp-exact"),
+            "pfcim_phase_fcp_exact"
+        );
+        assert!(valid_prom_name(&prom_name("pfcim", "9lives")));
+        let mut reg = MetricsRegistry::new();
+        reg.add("weird name!", 1);
+        reg.set_gauge("inf gauge", f64::INFINITY);
+        let text = reg.to_prometheus("pfcim");
+        lint_prometheus(&text).expect("sanitized names must lint clean");
+        assert!(text.contains("pfcim_weird_name_ 1"));
+        assert!(text.contains("pfcim_inf_gauge +Inf"));
+    }
+
+    #[test]
+    fn prometheus_linter_rejects_malformed_documents() {
+        // Unknown type.
+        assert!(lint_prometheus("# TYPE foo enum\nfoo 1\n").is_err());
+        // Bad metric name in a sample.
+        assert!(lint_prometheus("9foo 1\n").is_err());
+        // Non-numeric value.
+        assert!(lint_prometheus("foo one\n").is_err());
+        // Sample outside the declared family.
+        assert!(lint_prometheus("# TYPE foo counter\nbar 1\n").is_err());
+        // Unclosed label block.
+        assert!(lint_prometheus("foo{a=\"b\" 1\n").is_err());
+        // _sum/_count only belong to summaries and histograms.
+        assert!(lint_prometheus("# TYPE foo counter\nfoo_sum 1\n").is_err());
+        assert!(lint_prometheus(
+            "# TYPE foo summary\nfoo{quantile=\"0.5\"} 2\nfoo_sum 3\nfoo_count 1\n"
+        )
+        .is_ok());
+        // Errors carry the offending line number.
+        let err = lint_prometheus("ok 1\nbad value\n").unwrap_err();
+        assert!(err.starts_with("line 2"), "{err}");
     }
 
     #[test]

@@ -36,15 +36,17 @@
 use std::time::Instant;
 
 use prob::hoeffding::hoeffding_infrequent;
-use prob::TailDp;
+use prob::{RemovalRefusal, TailDp};
 use utdb::{Item, TidBitmap, UncertainDatabase};
 
 use crate::config::{MinerConfig, SearchStrategy};
 use crate::evaluator::Evaluator;
 use crate::par;
 use crate::result::{MiningOutcome, Pfci};
-use crate::stats::{KernelStats, MinerStats, PhaseTimers};
-use crate::trace::{timed, MinerSink, NullSink, Phase, PruneKind, ShardableSink, ShardedSink};
+use crate::stats::{DpAudit, KernelStats, MinerStats, PhaseTimers};
+use crate::trace::{
+    timed, DpDecision, MinerSink, NullSink, Phase, PruneKind, ShardableSink, ShardedSink,
+};
 
 /// Hard cap on downdates accumulated in one [`TailDp`] row before the
 /// miner forces a rebuild; bounds the worst-case accumulated rounding
@@ -161,6 +163,7 @@ fn mine_dfs_sequential<S: MinerSink + ?Sized>(
         stats,
         kernel,
         timers,
+        audit,
         sink,
         ..
     } = evaluator;
@@ -170,6 +173,7 @@ fn mine_dfs_sequential<S: MinerSink + ?Sized>(
         stats,
         kernel,
         timers,
+        audit,
         elapsed: start.elapsed(),
         timed_out,
     };
@@ -202,45 +206,64 @@ fn mine_dfs_parallel<S: ShardableSink + ?Sized>(
         .map(|id| (id, sharded.shard()))
         .collect();
 
+    // Pool spans (task/steal/idle per worker) are only worth their
+    // timestamps when some sink will consume them.
+    let pool = sharded.parent().is_enabled().then(par::PoolTrace::new);
+
     let worker_cfg = &worker_cfg;
-    let per_root = par::scatter(threads, roots, |_, (id, mut shard)| {
-        let mut cfg = worker_cfg.clone();
-        cfg.seed = par::mix_seed(worker_cfg.seed, u64::from(id));
-        let mut miner = DfsMiner {
-            evaluator: Evaluator::new(db, &cfg, &mut shard),
-            dropped: Vec::new(),
-            results: Vec::new(),
-            deadline,
-            timed_out: false,
-        };
-        miner.mine_root(Item(id));
-        let DfsMiner {
-            evaluator,
-            results,
-            timed_out,
-            ..
-        } = miner;
-        let Evaluator {
-            stats,
-            kernel,
-            timers,
-            ..
-        } = evaluator;
-        (shard, results, stats, kernel, timers, timed_out)
-    });
+    let per_root = par::scatter_observed(
+        threads,
+        roots,
+        |_, (id, mut shard)| {
+            let mut cfg = worker_cfg.clone();
+            cfg.seed = par::mix_seed(worker_cfg.seed, u64::from(id));
+            let mut miner = DfsMiner {
+                evaluator: Evaluator::new(db, &cfg, &mut shard),
+                dropped: Vec::new(),
+                results: Vec::new(),
+                deadline,
+                timed_out: false,
+            };
+            miner.mine_root(Item(id));
+            let DfsMiner {
+                evaluator,
+                results,
+                timed_out,
+                ..
+            } = miner;
+            let Evaluator {
+                stats,
+                kernel,
+                timers,
+                audit,
+                ..
+            } = evaluator;
+            (shard, results, stats, kernel, timers, audit, timed_out)
+        },
+        pool.as_ref(),
+    );
 
     let mut stats = MinerStats::default();
     let mut kernel = KernelStats::default();
     let mut timers = PhaseTimers::default();
+    let mut audit = DpAudit::default();
     let mut results = Vec::new();
     let mut timed_out = false;
-    for (shard, root_results, root_stats, root_kernel, root_timers, root_timed_out) in per_root {
+    for (shard, root_results, root_stats, root_kernel, root_timers, root_audit, root_timed_out) in
+        per_root
+    {
         sharded.absorb(shard);
         stats.absorb(&root_stats);
         kernel.absorb(&root_kernel);
         timers.absorb(&root_timers);
+        audit.absorb(&root_audit);
         results.extend(root_results);
         timed_out |= root_timed_out;
+    }
+    if let Some(pool) = pool {
+        for span in pool.into_spans() {
+            sharded.parent().pool_span(&span);
+        }
     }
     results.sort_by(|a, b| a.items.cmp(&b.items));
     let outcome = MiningOutcome {
@@ -248,6 +271,7 @@ fn mine_dfs_parallel<S: ShardableSink + ?Sized>(
         stats,
         kernel,
         timers,
+        audit,
         elapsed: start.elapsed(),
         timed_out,
     };
@@ -320,6 +344,8 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
                 dp
             },
         );
+        self.evaluator.audit.record(DpDecision::FreshRoot);
+        self.evaluator.sink.dp_decision(DpDecision::FreshRoot);
         self.finish_qualify(tids, dp, esup)
     }
 
@@ -351,21 +377,44 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
         let dropped = &self.dropped;
         let tids_ref = &tids;
         let esup_ref = &mut esup;
-        let dp = timed(
+        let (dp, decision) = timed(
             Phase::FreqDp,
             &mut self.evaluator.timers,
             &mut *self.evaluator.sink,
             || {
                 // Downdate when it is cheaper than a rebuild and every
-                // removal passes the stability rule; otherwise rebuild.
+                // removal passes the stability rule; otherwise rebuild,
+                // recording the structured reason for the audit channel.
                 let removals = dropped.len() as u32;
-                if (dropped.len() < count) && parent.dp.removals() + removals <= MAX_DOWNDATES {
+                let decision = if dropped.len() >= count {
+                    DpDecision::CostSkip
+                } else if parent.dp.removals() + removals > MAX_DOWNDATES {
+                    DpDecision::DowndateCap
+                } else {
                     let mut dp = parent.dp.clone();
-                    if dropped.iter().all(|&p| dp.try_remove(p, amp_limit)) {
-                        kernel.dp_incremental += 1;
-                        return dp;
+                    let mut refusal = None;
+                    for &p in dropped.iter() {
+                        if let Err(r) = dp.try_remove_explained(p, amp_limit) {
+                            refusal = Some(r);
+                            break;
+                        }
                     }
-                }
+                    match refusal {
+                        None => {
+                            kernel.dp_incremental += 1;
+                            return (dp, DpDecision::Incremental);
+                        }
+                        Some(RemovalRefusal::AmpLimit { magnitude }) => {
+                            DpDecision::AmpLimit { magnitude }
+                        }
+                        Some(RemovalRefusal::RowValidation { violation }) => {
+                            DpDecision::RowValidation { violation }
+                        }
+                        Some(RemovalRefusal::Empty | RemovalRefusal::Degenerate) => {
+                            DpDecision::Degenerate
+                        }
+                    }
+                };
                 kernel.dp_recomputed += 1;
                 let mut dp = TailDp::new(min_sup);
                 let mut fresh_esup = 0.0;
@@ -377,9 +426,11 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
                 // The rebuild touches every remaining probability anyway:
                 // refresh the expected support to stop incremental drift.
                 *esup_ref = fresh_esup;
-                dp
+                (dp, decision)
             },
         );
+        self.evaluator.audit.record(decision);
+        self.evaluator.sink.dp_decision(decision);
         self.finish_qualify(tids, dp, esup)
     }
 

@@ -72,15 +72,19 @@ pub(crate) fn run_naive<S: MinerSink + ?Sized>(
         stats,
         kernel,
         timers,
+        audit,
         sink,
         ..
     } = evaluator;
     results.sort_by(|a, b| a.items.cmp(&b.items));
+    // The PFI stage runs its own DPs outside the evaluator, so the naive
+    // baseline's audit stays empty (it never produces TailDp rows here).
     let outcome = MiningOutcome {
         results,
         stats,
         kernel,
         timers,
+        audit,
         elapsed: start.elapsed(),
         timed_out,
     };

@@ -29,6 +29,79 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// What a worker was doing during a [`PoolSpan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolSpanKind {
+    /// Executing one scattered task (its submission index is
+    /// [`PoolSpan::task`]).
+    Task,
+    /// Sweeping the other workers' deques and successfully stealing.
+    Steal,
+    /// The terminal empty sweep before the worker exits.
+    Idle,
+}
+
+impl PoolSpanKind {
+    /// Stable snake_case name used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            PoolSpanKind::Task => "task",
+            PoolSpanKind::Steal => "steal",
+            PoolSpanKind::Idle => "idle",
+        }
+    }
+}
+
+/// One timed interval on a work-stealing-pool worker, recorded by
+/// [`scatter_observed`] and replayed to the caller's sink after the join
+/// barrier. Carries a raw [`Instant`] so each consumer can convert to its
+/// own epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolSpan {
+    /// Worker index (`0` is the calling thread).
+    pub worker: u32,
+    /// Submission index of the task for [`PoolSpanKind::Task`] spans
+    /// (zero otherwise).
+    pub task: usize,
+    /// What the worker was doing.
+    pub kind: PoolSpanKind,
+    /// When the interval began.
+    pub start: Instant,
+    /// How long it lasted.
+    pub dur: Duration,
+}
+
+/// A lock-protected buffer of [`PoolSpan`]s shared by the workers of one
+/// [`scatter_observed`] call. The lock is taken once per recorded span —
+/// task granularity, not node granularity — so contention is negligible.
+#[derive(Debug, Default)]
+pub struct PoolTrace {
+    spans: Mutex<Vec<PoolSpan>>,
+}
+
+impl PoolTrace {
+    /// An empty trace buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, span: PoolSpan) {
+        lock(&self.spans).push(span);
+    }
+
+    /// Drain the recorded spans, sorted by worker then start time (the
+    /// deterministic replay order; per-worker order is chronological).
+    pub fn into_spans(self) -> Vec<PoolSpan> {
+        let mut spans = self
+            .spans
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        spans.sort_by_key(|s| (s.worker, s.start));
+        spans
+    }
+}
 
 /// Number of hardware threads, with a fallback of 1 when the platform
 /// cannot tell ([`std::thread::available_parallelism`] errors).
@@ -93,12 +166,44 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    scatter_observed(threads, items, f, None)
+}
+
+/// [`scatter`] with optional pool observability: when `trace` is given,
+/// every task execution, successful steal sweep and terminal idle sweep
+/// is recorded as a [`PoolSpan`] (tagged with its worker index), ready to
+/// be replayed into a profiler after the join barrier. With `trace =
+/// None` this is exactly [`scatter`] — no timestamps are taken.
+pub fn scatter_observed<T, R, F>(
+    threads: usize,
+    items: Vec<T>,
+    f: F,
+    trace: Option<&PoolTrace>,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     if threads <= 1 || n <= 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            .map(|(i, t)| {
+                let start = trace.map(|_| Instant::now());
+                let r = f(i, t);
+                if let (Some(tr), Some(start)) = (trace, start) {
+                    tr.record(PoolSpan {
+                        worker: 0,
+                        task: i,
+                        kind: PoolSpanKind::Task,
+                        start,
+                        dur: start.elapsed(),
+                    });
+                }
+                r
+            })
             .collect();
     }
     let workers = threads.min(n);
@@ -116,9 +221,9 @@ where
         let panicked = &panicked;
         std::thread::scope(|scope| {
             for me in 1..workers {
-                scope.spawn(move || run_worker(me, queues, results, f, panicked));
+                scope.spawn(move || run_worker(me, queues, results, f, panicked, trace));
             }
-            run_worker(0, queues, results, f, panicked);
+            run_worker(0, queues, results, f, panicked, trace);
         });
     }
     if let Some(payload) = lock(&panicked).take() {
@@ -140,6 +245,7 @@ fn run_worker<T, R, F>(
     results: &[Mutex<Option<R>>],
     f: &F,
     panicked: &Mutex<Option<Box<dyn Any + Send>>>,
+    trace: Option<&PoolTrace>,
 ) where
     F: Fn(usize, T) -> R,
 {
@@ -156,21 +262,53 @@ fn run_worker<T, R, F>(
         // sweep starts — holding it while locking a neighbour's deque
         // would let two workers deadlock on each other's queues.
         let own = lock(&queues[me]).pop_front();
-        let task =
-            own.or_else(|| (1..workers).find_map(|d| lock(&queues[(me + d) % workers]).pop_back()));
+        let task = match own {
+            Some(t) => Some(t),
+            None => {
+                let sweep_start = trace.map(|_| Instant::now());
+                let stolen =
+                    (1..workers).find_map(|d| lock(&queues[(me + d) % workers]).pop_back());
+                if let (Some(tr), Some(start)) = (trace, sweep_start) {
+                    tr.record(PoolSpan {
+                        worker: me as u32,
+                        task: 0,
+                        kind: if stolen.is_some() {
+                            PoolSpanKind::Steal
+                        } else {
+                            PoolSpanKind::Idle
+                        },
+                        start,
+                        dur: start.elapsed(),
+                    });
+                }
+                stolen
+            }
+        };
         match task {
-            Some((i, t)) => match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
-                Ok(r) => {
-                    *lock(&results[i]) = Some(r);
-                }
-                Err(payload) => {
-                    let mut slot = lock(panicked);
-                    if slot.is_none() {
-                        *slot = Some(payload);
+            Some((i, t)) => {
+                let task_start = trace.map(|_| Instant::now());
+                match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                    Ok(r) => {
+                        if let (Some(tr), Some(start)) = (trace, task_start) {
+                            tr.record(PoolSpan {
+                                worker: me as u32,
+                                task: i,
+                                kind: PoolSpanKind::Task,
+                                start,
+                                dur: start.elapsed(),
+                            });
+                        }
+                        *lock(&results[i]) = Some(r);
                     }
-                    return;
+                    Err(payload) => {
+                        let mut slot = lock(panicked);
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        return;
+                    }
                 }
-            },
+            }
             // All deques empty: the task set is static, so nothing new
             // can ever appear — exit instead of spinning.
             None => return,
@@ -240,6 +378,39 @@ mod tests {
             scatter(1, vec![0usize], |_, _| -> usize { panic!("seq boom") })
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn observed_scatter_records_one_task_span_per_item() {
+        for threads in [1, 4] {
+            let trace = PoolTrace::new();
+            let out = scatter_observed(threads, (0..23usize).collect(), |_, x| x, Some(&trace));
+            assert_eq!(out.len(), 23);
+            let spans = trace.into_spans();
+            let mut task_ids: Vec<usize> = spans
+                .iter()
+                .filter(|s| s.kind == PoolSpanKind::Task)
+                .map(|s| s.task)
+                .collect();
+            task_ids.sort_unstable();
+            assert_eq!(task_ids, (0..23).collect::<Vec<_>>());
+            // Spans come back grouped by worker, chronologically within
+            // each worker, so a profiler can replay them track by track.
+            for pair in spans.windows(2) {
+                assert!(pair[0].worker < pair[1].worker || pair[0].start <= pair[1].start);
+            }
+            if threads > 1 {
+                // Every spawned worker ends with an empty (idle) sweep.
+                assert!(spans.iter().any(|s| s.kind == PoolSpanKind::Idle));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_span_kind_names_are_stable() {
+        assert_eq!(PoolSpanKind::Task.name(), "task");
+        assert_eq!(PoolSpanKind::Steal.name(), "steal");
+        assert_eq!(PoolSpanKind::Idle.name(), "idle");
     }
 
     #[test]

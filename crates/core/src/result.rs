@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use utdb::{Item, UncertainDatabase};
 
-use crate::stats::{KernelStats, MinerStats, PhaseTimers};
+use crate::stats::{DpAudit, KernelStats, MinerStats, PhaseTimers};
 
 /// One probabilistic frequent closed itemset (Definition 3.8).
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +39,11 @@ pub struct MiningOutcome {
     /// Wall-clock totals per instrumented phase (freq-dp, ch-bound,
     /// event-build, bound-eval, fcp-exact, fcp-sample).
     pub timers: PhaseTimers,
+    /// Decision audit of every frequentness-DP row: incremental
+    /// downdates versus each structured reason a row was rebuilt
+    /// (`audit.incremental == kernel.dp_incremental`,
+    /// `audit.recomputed() == kernel.dp_recomputed`).
+    pub audit: DpAudit,
     /// Wall-clock duration.
     pub elapsed: Duration,
     /// True when the run hit its configured time budget and aborted
@@ -111,6 +116,7 @@ mod tests {
             stats: MinerStats::default(),
             kernel: KernelStats::default(),
             timers: PhaseTimers::default(),
+            audit: DpAudit::default(),
             elapsed: Duration::ZERO,
             timed_out: false,
         };

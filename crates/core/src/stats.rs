@@ -9,7 +9,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use crate::trace::Phase;
+use crate::trace::{DpDecision, Phase};
 
 /// Counters accumulated over one mining run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -156,6 +156,125 @@ impl fmt::Display for KernelStats {
     }
 }
 
+/// Per-reason audit of every frequentness-DP row decision the miner
+/// took: one [`DpDecision`] is recorded per DP-row qualification, so the
+/// reason counters reconcile *exactly* with [`KernelStats`] —
+/// [`DpAudit::incremental`] equals `dp_incremental` and
+/// [`DpAudit::recomputed`] equals `dp_recomputed` (the differential
+/// tests assert both). This is the machine-readable answer to "why is
+/// `dp_incremental` 0 on this dataset": the refusal mix says whether the
+/// amp-limit guard, a row-validation failure, the downdate cap or plain
+/// cost accounting forced each rebuild.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpAudit {
+    /// Rows derived by downdating the parent row (the fast path).
+    pub incremental: u64,
+    /// Rows built from scratch at subtree roots (no parent to downdate).
+    pub fresh_root: u64,
+    /// Rows built from scratch by the level-wise BFS miner (which never
+    /// downdates — see `crate::bfs`).
+    pub fresh_level: u64,
+    /// Rebuilds because the downdate would touch at least as many
+    /// transactions as a rebuild (`dropped ≥ |T(X∪e)|`).
+    pub cost_skip: u64,
+    /// Rebuilds because the parent row had accumulated `MAX_DOWNDATES`
+    /// removals.
+    pub downdate_cap: u64,
+    /// Downdates refused by the `dp_stability` amplification guard.
+    pub amp_limit: u64,
+    /// Downdates refused because a divided-out row left the valid
+    /// probability range.
+    pub row_validation: u64,
+    /// Downdates refused on degenerate inputs (empty row or `p = 1`).
+    pub degenerate: u64,
+}
+
+impl DpAudit {
+    /// Record one decision (the single mutation point, shared by the
+    /// miners and by [`crate::trace::CountingSink`] replay).
+    pub fn record(&mut self, decision: DpDecision) {
+        match decision {
+            DpDecision::Incremental => self.incremental += 1,
+            DpDecision::FreshRoot => self.fresh_root += 1,
+            DpDecision::FreshLevel => self.fresh_level += 1,
+            DpDecision::CostSkip => self.cost_skip += 1,
+            DpDecision::DowndateCap => self.downdate_cap += 1,
+            DpDecision::AmpLimit { .. } => self.amp_limit += 1,
+            DpDecision::RowValidation { .. } => self.row_validation += 1,
+            DpDecision::Degenerate => self.degenerate += 1,
+        }
+    }
+
+    /// Rows rebuilt from scratch, summed over every rebuild reason —
+    /// reconciles exactly with [`KernelStats::dp_recomputed`].
+    pub fn recomputed(&self) -> u64 {
+        self.fresh_root
+            + self.fresh_level
+            + self.cost_skip
+            + self.downdate_cap
+            + self.amp_limit
+            + self.row_validation
+            + self.degenerate
+    }
+
+    /// Rebuilds caused by a *refused* downdate (as opposed to roots or
+    /// cost/cap accounting).
+    pub fn refusals(&self) -> u64 {
+        self.amp_limit + self.row_validation + self.degenerate
+    }
+
+    /// Total decisions recorded — reconciles with
+    /// [`KernelStats::dp_rows`].
+    pub fn total(&self) -> u64 {
+        self.incremental + self.recomputed()
+    }
+
+    /// Merge another run's audit into this one.
+    pub fn absorb(&mut self, other: &DpAudit) {
+        self.incremental += other.incremental;
+        self.fresh_root += other.fresh_root;
+        self.fresh_level += other.fresh_level;
+        self.cost_skip += other.cost_skip;
+        self.downdate_cap += other.downdate_cap;
+        self.amp_limit += other.amp_limit;
+        self.row_validation += other.row_validation;
+        self.degenerate += other.degenerate;
+    }
+
+    /// The `(name, value)` pairs in stable order — the single source for
+    /// the metrics snapshot, the Prometheus exporter and the benchmark
+    /// report schema (v4). Names match [`DpDecision::name`].
+    pub fn named(&self) -> [(&'static str, u64); 8] {
+        [
+            ("incremental", self.incremental),
+            ("fresh_root", self.fresh_root),
+            ("fresh_level", self.fresh_level),
+            ("cost_skip", self.cost_skip),
+            ("downdate_cap", self.downdate_cap),
+            ("amp_limit", self.amp_limit),
+            ("row_validation", self.row_validation),
+            ("degenerate", self.degenerate),
+        ]
+    }
+}
+
+impl fmt::Display for DpAudit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inc={} root={} level={} cost={} cap={} amp={} row={} degen={}",
+            self.incremental,
+            self.fresh_root,
+            self.fresh_level,
+            self.cost_skip,
+            self.downdate_cap,
+            self.amp_limit,
+            self.row_validation,
+            self.degenerate,
+        )
+    }
+}
+
 /// Wall-clock totals per instrumented phase ([`Phase`]), with call
 /// counts.
 ///
@@ -276,6 +395,35 @@ mod tests {
         assert!(s.starts_with("nodes=0"));
         assert!(s.contains("samples=0"));
         assert!(s.contains("freq_prob_evals=0"));
+    }
+
+    #[test]
+    fn dp_audit_records_and_reconciles() {
+        let mut audit = DpAudit::default();
+        audit.record(DpDecision::Incremental);
+        audit.record(DpDecision::FreshRoot);
+        audit.record(DpDecision::FreshLevel);
+        audit.record(DpDecision::CostSkip);
+        audit.record(DpDecision::DowndateCap);
+        audit.record(DpDecision::AmpLimit { magnitude: 3.2 });
+        audit.record(DpDecision::RowValidation { violation: 0.1 });
+        audit.record(DpDecision::Degenerate);
+        assert_eq!(audit.incremental, 1);
+        assert_eq!(audit.recomputed(), 7);
+        assert_eq!(audit.refusals(), 3);
+        assert_eq!(audit.total(), 8);
+        let named = audit.named();
+        assert_eq!(named.len(), 8);
+        assert!(named.iter().all(|&(_, v)| v == 1));
+        assert_eq!(named.iter().map(|&(_, v)| v).sum::<u64>(), audit.total());
+
+        let mut sum = DpAudit::default();
+        sum.absorb(&audit);
+        sum.absorb(&audit);
+        assert_eq!(sum.total(), 16);
+        assert_eq!(sum.refusals(), 6);
+        let s = audit.to_string();
+        assert!(s.contains("amp=1"), "{s}");
     }
 
     #[test]

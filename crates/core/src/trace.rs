@@ -32,6 +32,7 @@
 //! {"ev":"node","depth":1}
 //! {"ev":"prune","kind":"superset"}
 //! {"ev":"freq_prob","pr_f":0.9985}
+//! {"ev":"dp_decision","reason":"amp_limit","magnitude":5.2}
 //! {"ev":"fcp_bounds","lower":0.85,"upper":0.92}
 //! {"ev":"fcp_eval","method":"sampled","samples":59915}
 //! {"ev":"result","items":[0,1,2],"fcp":0.8754}
@@ -43,7 +44,11 @@
 //! `prune.kind` ∈ {`chernoff_hoeffding`, `freq_prob`, `superset`,
 //! `subset`, `bound_reject`}; `fcp_eval.method` ∈ {`exact`, `sampled`,
 //! `bound_decided`}; `phase` ∈ {`freq_dp`, `ch_bound`, `event_build`,
-//! `bound_eval`, `fcp_exact`, `fcp_sample`}. Floats use Rust's shortest
+//! `bound_eval`, `fcp_exact`, `fcp_sample`}; `dp_decision.reason` ∈
+//! {`incremental`, `fresh_root`, `fresh_level`, `cost_skip`,
+//! `downdate_cap`, `amp_limit`, `row_validation`, `degenerate`}, with
+//! `magnitude` present only for the two refusal reasons that carry one
+//! (see [`DpDecision`]). Floats use Rust's shortest
 //! round-trip rendering, so parsing a trace back recovers the exact
 //! values ([`parse_jsonl`]).
 
@@ -57,7 +62,7 @@ use utdb::Item;
 
 use crate::config::MinerConfig;
 use crate::result::MiningOutcome;
-use crate::stats::{MinerStats, PhaseTimers};
+use crate::stats::{DpAudit, MinerStats, PhaseTimers};
 
 /// The instrumented phases of a mining run, in the order they typically
 /// occur per candidate.
@@ -163,6 +168,91 @@ impl PruneKind {
     }
 }
 
+/// The outcome of one frequentness-DP row qualification: either the
+/// incremental downdate fast path, or one of the structured reasons the
+/// miner rebuilt the row from scratch instead (the decision-audit
+/// channel behind [`crate::stats::DpAudit`]).
+///
+/// Exactly one `dp_decision` event fires per DP row the miner produces,
+/// so per-reason counts reconcile with
+/// [`crate::stats::KernelStats::dp_rows`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DpDecision {
+    /// The parent row was downdated successfully (`dp_incremental`).
+    Incremental,
+    /// A subtree root has no parent row — built from scratch.
+    FreshRoot,
+    /// The level-wise BFS miner never downdates — built from scratch.
+    FreshLevel,
+    /// The downdate would touch at least as many transactions as a
+    /// rebuild, so rebuilding was cheaper.
+    CostSkip,
+    /// The parent row had accumulated the maximum number of downdates.
+    DowndateCap,
+    /// A removal was refused by the `dp_stability` amplification guard;
+    /// `magnitude` is the estimated error amplification in decades
+    /// (`log10`), so a histogram of magnitudes shows how far past the
+    /// limit refused removals land.
+    AmpLimit {
+        /// `(min_sup − 1) · log10(p / (1 − p))` of the refused removal.
+        magnitude: f64,
+    },
+    /// A removal was refused because a divided-out DP row left `[0, 1]`;
+    /// `violation` is how far outside the range it landed.
+    RowValidation {
+        /// Distance outside the valid probability range.
+        violation: f64,
+    },
+    /// A removal was refused on degenerate input (empty row or `p = 1`).
+    Degenerate,
+}
+
+impl DpDecision {
+    /// Stable snake_case name used in traces, metrics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DpDecision::Incremental => "incremental",
+            DpDecision::FreshRoot => "fresh_root",
+            DpDecision::FreshLevel => "fresh_level",
+            DpDecision::CostSkip => "cost_skip",
+            DpDecision::DowndateCap => "downdate_cap",
+            DpDecision::AmpLimit { .. } => "amp_limit",
+            DpDecision::RowValidation { .. } => "row_validation",
+            DpDecision::Degenerate => "degenerate",
+        }
+    }
+
+    /// The refusal magnitude, for the reasons that carry one.
+    pub fn magnitude(self) -> Option<f64> {
+        match self {
+            DpDecision::AmpLimit { magnitude } => Some(magnitude),
+            DpDecision::RowValidation { violation } => Some(violation),
+            _ => None,
+        }
+    }
+
+    /// Rebuild a decision from its trace form (inverse of
+    /// [`DpDecision::name`] plus the optional magnitude). Reasons that
+    /// carry a magnitude default it to `0` when absent.
+    pub fn from_parts(name: &str, magnitude: Option<f64>) -> Option<DpDecision> {
+        Some(match name {
+            "incremental" => DpDecision::Incremental,
+            "fresh_root" => DpDecision::FreshRoot,
+            "fresh_level" => DpDecision::FreshLevel,
+            "cost_skip" => DpDecision::CostSkip,
+            "downdate_cap" => DpDecision::DowndateCap,
+            "amp_limit" => DpDecision::AmpLimit {
+                magnitude: magnitude.unwrap_or(0.0),
+            },
+            "row_validation" => DpDecision::RowValidation {
+                violation: magnitude.unwrap_or(0.0),
+            },
+            "degenerate" => DpDecision::Degenerate,
+            _ => return None,
+        })
+    }
+}
+
 /// How an itemset's FCP was settled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FcpEvalKind {
@@ -229,6 +319,17 @@ pub trait MinerSink {
     /// The exact frequent-probability DP ran and returned `pr_f`.
     fn freq_prob_evaluated(&mut self, pr_f: f64) {}
 
+    /// One frequentness-DP row was produced and the build-vs-downdate
+    /// choice settled with `decision` — the decision-audit channel.
+    /// Fires exactly once per DP row, immediately after the row exists.
+    fn dp_decision(&mut self, decision: DpDecision) {}
+
+    /// A work-stealing-pool span (task execution, successful steal, or
+    /// terminal idle sweep) observed during a parallel fan-out. Pool
+    /// spans are buffered by the workers and replayed on the caller
+    /// thread after the join barrier, in worker order.
+    fn pool_span(&mut self, span: &crate::par::PoolSpan) {}
+
     /// FCP bounds (Lemma 4.4) were computed for a candidate.
     fn fcp_bounds(&mut self, lower: f64, upper: f64) {}
 
@@ -294,6 +395,12 @@ macro_rules! forward_sink {
             }
             fn freq_prob_evaluated(&mut self, pr_f: f64) {
                 (**self).freq_prob_evaluated(pr_f)
+            }
+            fn dp_decision(&mut self, decision: DpDecision) {
+                (**self).dp_decision(decision)
+            }
+            fn pool_span(&mut self, span: &crate::par::PoolSpan) {
+                (**self).pool_span(span)
             }
             fn fcp_bounds(&mut self, lower: f64, upper: f64) {
                 (**self).fcp_bounds(lower, upper)
@@ -380,6 +487,16 @@ impl<S: MinerSink> MinerSink for Option<S> {
             s.freq_prob_evaluated(pr_f);
         }
     }
+    fn dp_decision(&mut self, decision: DpDecision) {
+        if let Some(s) = self {
+            s.dp_decision(decision);
+        }
+    }
+    fn pool_span(&mut self, span: &crate::par::PoolSpan) {
+        if let Some(s) = self {
+            s.pool_span(span);
+        }
+    }
     fn fcp_bounds(&mut self, lower: f64, upper: f64) {
         if let Some(s) = self {
             s.fcp_bounds(lower, upper);
@@ -455,6 +572,14 @@ impl<A: MinerSink, B: MinerSink> MinerSink for Tee<A, B> {
     fn freq_prob_evaluated(&mut self, pr_f: f64) {
         self.0.freq_prob_evaluated(pr_f);
         self.1.freq_prob_evaluated(pr_f);
+    }
+    fn dp_decision(&mut self, decision: DpDecision) {
+        self.0.dp_decision(decision);
+        self.1.dp_decision(decision);
+    }
+    fn pool_span(&mut self, span: &crate::par::PoolSpan) {
+        self.0.pool_span(span);
+        self.1.pool_span(span);
     }
     fn fcp_bounds(&mut self, lower: f64, upper: f64) {
         self.0.fcp_bounds(lower, upper);
@@ -546,6 +671,11 @@ pub enum TraceEvent {
         /// The DP's result.
         pr_f: f64,
     },
+    /// `{"ev":"dp_decision",...}` — one frequentness-DP row settled.
+    DpDecision {
+        /// How (and, for refusals, why) the row was produced.
+        decision: DpDecision,
+    },
     /// `{"ev":"fcp_bounds",...}` — Lemma 4.4 bounds computed.
     FcpBounds {
         /// Lower bound on the FCP.
@@ -609,6 +739,16 @@ impl TraceEvent {
                 format!("{{\"ev\":\"prune\",\"kind\":\"{}\"}}", kind.name())
             }
             TraceEvent::FreqProb { pr_f } => format!("{{\"ev\":\"freq_prob\",\"pr_f\":{pr_f}}}"),
+            TraceEvent::DpDecision { decision } => match decision.magnitude() {
+                Some(m) => format!(
+                    "{{\"ev\":\"dp_decision\",\"reason\":\"{}\",\"magnitude\":{m}}}",
+                    decision.name()
+                ),
+                None => format!(
+                    "{{\"ev\":\"dp_decision\",\"reason\":\"{}\"}}",
+                    decision.name()
+                ),
+            },
             TraceEvent::FcpBounds { lower, upper } => {
                 format!("{{\"ev\":\"fcp_bounds\",\"lower\":{lower},\"upper\":{upper}}}")
             }
@@ -668,6 +808,11 @@ impl TraceEvent {
             }),
             "freq_prob" => Ok(TraceEvent::FreqProb {
                 pr_f: num_field(line, "pr_f").ok_or_else(|| err("pr_f"))?,
+            }),
+            "dp_decision" => Ok(TraceEvent::DpDecision {
+                decision: str_field(line, "reason")
+                    .and_then(|r| DpDecision::from_parts(r, num_field(line, "magnitude")))
+                    .ok_or_else(|| err("reason"))?,
             }),
             "fcp_bounds" => Ok(TraceEvent::FcpBounds {
                 lower: num_field(line, "lower").ok_or_else(|| err("lower"))?,
@@ -821,6 +966,9 @@ impl MinerSink for RecordingSink {
     fn freq_prob_evaluated(&mut self, pr_f: f64) {
         self.events.push(TraceEvent::FreqProb { pr_f });
     }
+    fn dp_decision(&mut self, decision: DpDecision) {
+        self.events.push(TraceEvent::DpDecision { decision });
+    }
     fn fcp_bounds(&mut self, lower: f64, upper: f64) {
         self.events.push(TraceEvent::FcpBounds { lower, upper });
     }
@@ -866,16 +1014,19 @@ impl MinerSink for RecordingSink {
 /// | `fcp_evaluated(Exact)`       | `fcp_exact`       |
 /// | `fcp_evaluated(Sampled, n)`  | `fcp_sampled`, `samples_drawn += n` |
 /// | `fcp_evaluated(BoundDecided)`| `bound_decided`   |
+/// | `dp_decision(d)`             | `audit.record(d)` |
 ///
 /// A run observed through a `CountingSink` therefore ends with
-/// `counting.stats == outcome.stats` — the reconciliation the
-/// observability tests assert.
+/// `counting.stats == outcome.stats` (and `counting.audit ==
+/// outcome.audit`) — the reconciliation the observability tests assert.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CountingSink {
     /// Counters re-derived from events.
     pub stats: MinerStats,
     /// Phase totals re-derived from `phase_end` events.
     pub timers: PhaseTimers,
+    /// DP decision-audit counters re-derived from `dp_decision` events.
+    pub audit: DpAudit,
     /// Results seen via `result_emitted`.
     pub results_emitted: u64,
 }
@@ -888,6 +1039,7 @@ impl CountingSink {
     pub fn merge(&mut self, other: &CountingSink) {
         self.stats.absorb(&other.stats);
         self.timers.absorb(&other.timers);
+        self.audit.absorb(&other.audit);
         self.results_emitted += other.results_emitted;
     }
 
@@ -898,6 +1050,7 @@ impl CountingSink {
             TraceEvent::Node { .. } => self.node_entered(0),
             TraceEvent::Prune { kind } => self.prune_fired(*kind),
             TraceEvent::FreqProb { pr_f } => self.freq_prob_evaluated(*pr_f),
+            TraceEvent::DpDecision { decision } => self.dp_decision(*decision),
             TraceEvent::FcpBounds { lower, upper } => self.fcp_bounds(*lower, *upper),
             TraceEvent::FcpEval { method, samples } => self.fcp_evaluated(*method, *samples),
             TraceEvent::Result { .. } => self.results_emitted += 1,
@@ -926,6 +1079,9 @@ impl MinerSink for CountingSink {
     }
     fn freq_prob_evaluated(&mut self, _pr_f: f64) {
         self.stats.freq_prob_evals += 1;
+    }
+    fn dp_decision(&mut self, decision: DpDecision) {
+        self.audit.record(decision);
     }
     fn fcp_evaluated(&mut self, method: FcpEvalKind, samples: u64) {
         match method {
@@ -1043,6 +1199,9 @@ impl<W: Write> MinerSink for JsonlSink<W> {
     }
     fn freq_prob_evaluated(&mut self, pr_f: f64) {
         self.record(&TraceEvent::FreqProb { pr_f });
+    }
+    fn dp_decision(&mut self, decision: DpDecision) {
+        self.record(&TraceEvent::DpDecision { decision });
     }
     fn fcp_bounds(&mut self, lower: f64, upper: f64) {
         self.record(&TraceEvent::FcpBounds { lower, upper });
@@ -1269,6 +1428,15 @@ mod tests {
                 nanos: 12345,
             },
             TraceEvent::FreqProb { pr_f: 0.9985 },
+            TraceEvent::DpDecision {
+                decision: DpDecision::Incremental,
+            },
+            TraceEvent::DpDecision {
+                decision: DpDecision::AmpLimit { magnitude: 5.25 },
+            },
+            TraceEvent::DpDecision {
+                decision: DpDecision::RowValidation { violation: 0.125 },
+            },
             TraceEvent::Prune {
                 kind: PruneKind::Superset,
             },
@@ -1342,6 +1510,19 @@ mod tests {
         ] {
             assert_eq!(FcpEvalKind::from_name(m.name()), Some(m));
         }
+        for d in [
+            DpDecision::Incremental,
+            DpDecision::FreshRoot,
+            DpDecision::FreshLevel,
+            DpDecision::CostSkip,
+            DpDecision::DowndateCap,
+            DpDecision::AmpLimit { magnitude: 2.5 },
+            DpDecision::RowValidation { violation: 0.75 },
+            DpDecision::Degenerate,
+        ] {
+            assert_eq!(DpDecision::from_parts(d.name(), d.magnitude()), Some(d));
+        }
+        assert_eq!(DpDecision::from_parts("bogus", None), None);
     }
 
     #[test]
@@ -1351,6 +1532,9 @@ mod tests {
         // Drive the live callbacks directly...
         live.node_entered(1);
         live.freq_prob_evaluated(0.9985);
+        live.dp_decision(DpDecision::Incremental);
+        live.dp_decision(DpDecision::AmpLimit { magnitude: 5.25 });
+        live.dp_decision(DpDecision::RowValidation { violation: 0.125 });
         live.prune_fired(PruneKind::Superset);
         live.fcp_bounds(0.85, 0.925);
         live.fcp_evaluated(FcpEvalKind::Sampled, 59915);
@@ -1363,7 +1547,10 @@ mod tests {
         }
         assert_eq!(live.stats, replayed.stats);
         assert_eq!(live.timers, replayed.timers);
+        assert_eq!(live.audit, replayed.audit);
         assert_eq!(live.results_emitted, replayed.results_emitted);
+        assert_eq!(replayed.audit.incremental, 1);
+        assert_eq!(replayed.audit.refusals(), 2);
         assert_eq!(replayed.stats.samples_drawn, 59915);
         assert_eq!(
             replayed.timers.total(Phase::FreqDp),
@@ -1458,7 +1645,7 @@ mod tests {
 
     /// Map a code to a miner event, exercised against live sinks.
     fn fire(code: u8, sink: &mut impl MinerSink) {
-        match code % 8 {
+        match code % 9 {
             0 => sink.node_entered(usize::from(code) % 5 + 1),
             1 => sink.prune_fired(PruneKind::ALL[usize::from(code) % PruneKind::ALL.len()]),
             2 => sink.freq_prob_evaluated(f64::from(code) / 255.0),
@@ -1466,6 +1653,13 @@ mod tests {
             4 => sink.fcp_evaluated(FcpEvalKind::Exact, 0),
             5 => sink.fcp_evaluated(FcpEvalKind::Sampled, u64::from(code) * 10),
             6 => sink.result_emitted(&[Item(u32::from(code))], 0.5),
+            7 => sink.dp_decision(match code % 3 {
+                0 => DpDecision::Incremental,
+                1 => DpDecision::AmpLimit {
+                    magnitude: f64::from(code) / 16.0,
+                },
+                _ => DpDecision::DowndateCap,
+            }),
             _ => sink.phase_end(
                 Phase::ALL[usize::from(code) % Phase::COUNT],
                 Duration::from_nanos(u64::from(code)),

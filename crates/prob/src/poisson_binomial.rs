@@ -179,6 +179,57 @@ pub fn expected_value(probs: &[f64]) -> f64 {
 /// anything lower fails a [`TailDp::try_remove`] downdate.
 const DOWNDATE_NEG_TOL: f64 = 1e-9;
 
+/// Why a [`TailDp::try_remove`] downdate was refused.
+///
+/// Each variant names the guard that fired, in the order the guards are
+/// checked; the magnitude-carrying variants record *how far* past the
+/// guard the request was, so callers can histogram near-misses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RemovalRefusal {
+    /// The row has zero trials absorbed; there is nothing to remove.
+    Empty,
+    /// `q = 1 − p` is below machine epsilon: the deconvolution would
+    /// divide by (effectively) zero.
+    Degenerate,
+    /// The estimated rounding-error amplification `max(1, p/q)^(k−1)`
+    /// exceeds the caller's limit.
+    AmpLimit {
+        /// `log10` of the estimated amplification factor — how many
+        /// decimal digits of precision the downdate would burn.
+        magnitude: f64,
+    },
+    /// A recovered head entry fell outside `[0, 1]` beyond rounding
+    /// tolerance, or the recovered head mass exceeded one.
+    RowValidation {
+        /// How far outside the valid range the worst entry (or the head
+        /// sum) landed; always positive.
+        violation: f64,
+    },
+}
+
+impl RemovalRefusal {
+    /// Stable machine-readable name of the refusal class.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            RemovalRefusal::Empty => "empty",
+            RemovalRefusal::Degenerate => "degenerate",
+            RemovalRefusal::AmpLimit { .. } => "amp_limit",
+            RemovalRefusal::RowValidation { .. } => "row_validation",
+        }
+    }
+
+    /// The refusal's magnitude, when the class carries one: decimal
+    /// digits of amplification for [`RemovalRefusal::AmpLimit`], range
+    /// excess for [`RemovalRefusal::RowValidation`].
+    pub fn magnitude(&self) -> Option<f64> {
+        match self {
+            RemovalRefusal::AmpLimit { magnitude } => Some(*magnitude),
+            RemovalRefusal::RowValidation { violation } => Some(*violation),
+            RemovalRefusal::Empty | RemovalRefusal::Degenerate => None,
+        }
+    }
+}
+
 /// An incrementally maintainable threshold DP for
 /// `Pr{ S ≥ k }`: the *truncated head* `Pr{ S = j }` for `j < k` of a
 /// Poisson–binomial sum, with the tail recovered as `1 − Σ head`.
@@ -321,25 +372,40 @@ impl TailDp {
     ///
     /// Panics if `p` lies outside `[0, 1]`.
     pub fn try_remove(&mut self, p: f64, amp_limit: f64) -> bool {
+        self.try_remove_explained(p, amp_limit).is_ok()
+    }
+
+    /// As [`TailDp::try_remove`], but a refusal reports *which* guard
+    /// fired (and by how much) as a [`RemovalRefusal`]. The row-state
+    /// contract is identical: on `Err` the row contents are unspecified —
+    /// downdate a clone and keep the parent row authoritative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside `[0, 1]`.
+    pub fn try_remove_explained(&mut self, p: f64, amp_limit: f64) -> Result<(), RemovalRefusal> {
         assert!(
             (0.0..=1.0).contains(&p),
             "Bernoulli probability {p} outside [0, 1]"
         );
         if self.trials == 0 {
-            return false;
+            return Err(RemovalRefusal::Empty);
         }
         if self.k == 0 {
             self.trials -= 1;
             self.removals += 1;
-            return true;
+            return Ok(());
         }
         let q = 1.0 - p;
         if q < f64::EPSILON {
-            return false;
+            return Err(RemovalRefusal::Degenerate);
         }
         let ratio = p / q;
         if ratio > 1.0 && (self.k as f64 - 1.0) * ratio.ln() > amp_limit.ln() {
-            return false;
+            return Err(RemovalRefusal::AmpLimit {
+                // log10(amplification) = (k−1)·log10(p/q).
+                magnitude: (self.k as f64 - 1.0) * ratio.log10(),
+            });
         }
         // Forward deconvolution: g = push(f, p) inverts to
         // f[j] = (g[j] − f[j−1]·p) / q, computed ascending in place (the
@@ -349,7 +415,9 @@ impl TailDp {
         for j in 0..self.k {
             let mut f = (self.head[j] - prev * p) / q;
             if !(-DOWNDATE_NEG_TOL..=1.0 + DOWNDATE_NEG_TOL).contains(&f) {
-                return false;
+                return Err(RemovalRefusal::RowValidation {
+                    violation: if f < 0.0 { -f } else { f - 1.0 },
+                });
             }
             f = f.clamp(0.0, 1.0);
             self.head[j] = f;
@@ -357,11 +425,13 @@ impl TailDp {
             sum += f;
         }
         if sum > 1.0 + DOWNDATE_NEG_TOL {
-            return false;
+            return Err(RemovalRefusal::RowValidation {
+                violation: sum - 1.0,
+            });
         }
         self.trials -= 1;
         self.removals += 1;
-        true
+        Ok(())
     }
 
     /// `Pr{ S ≥ k }` for the currently absorbed trials.
@@ -568,6 +638,53 @@ mod tests {
         assert!(!wide.try_remove(0.9, 100.0), "9^19 >> 100");
         let mut narrow = TailDp::from_probs(2, probs.iter().copied());
         assert!(narrow.try_remove(0.9, 100.0), "9^1 <= 100");
+    }
+
+    #[test]
+    fn tail_dp_refusals_are_explained() {
+        // Empty row.
+        let mut dp = TailDp::new(2);
+        assert_eq!(
+            dp.try_remove_explained(0.5, 1e4),
+            Err(RemovalRefusal::Empty)
+        );
+        // Degenerate q.
+        let mut dp = TailDp::from_probs(2, [1.0, 0.5, 0.5]);
+        assert_eq!(
+            dp.try_remove_explained(1.0, 1e12),
+            Err(RemovalRefusal::Degenerate)
+        );
+        // Amplification guard, with the log10 overshoot attached:
+        // (k−1)·log10(p/q) = 19·log10(9) ≈ 18.1 decimal digits.
+        let probs = vec![0.9; 30];
+        let mut wide = TailDp::from_probs(20, probs.iter().copied());
+        match wide.try_remove_explained(0.9, 100.0) {
+            Err(RemovalRefusal::AmpLimit { magnitude }) => {
+                assert!(
+                    (magnitude - 19.0 * 9.0f64.log10()).abs() < 1e-9,
+                    "{magnitude}"
+                );
+            }
+            other => panic!("expected amp-limit refusal, got {other:?}"),
+        }
+        // Removing a trial that was never absorbed trips row validation.
+        let mut dp = TailDp::from_probs(3, [0.1, 0.1, 0.1, 0.1]);
+        match dp.try_remove_explained(0.45, 1e9) {
+            Err(RemovalRefusal::RowValidation { violation }) => assert!(violation > 0.0),
+            other => panic!("expected row-validation refusal, got {other:?}"),
+        }
+        // The names and magnitudes survive the accessors.
+        assert_eq!(RemovalRefusal::Empty.reason(), "empty");
+        assert_eq!(RemovalRefusal::Degenerate.reason(), "degenerate");
+        assert_eq!(
+            RemovalRefusal::AmpLimit { magnitude: 2.0 }.reason(),
+            "amp_limit"
+        );
+        assert_eq!(
+            RemovalRefusal::RowValidation { violation: 0.5 }.magnitude(),
+            Some(0.5)
+        );
+        assert_eq!(RemovalRefusal::Empty.magnitude(), None);
     }
 
     #[test]

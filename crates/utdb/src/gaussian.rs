@@ -7,7 +7,7 @@
 //! Gaussian distribution to each transaction."
 
 use prob::clamped_gaussian;
-use rand::Rng;
+use rand::{Rng, RngExt};
 
 use crate::database::UncertainDatabase;
 
@@ -66,6 +66,40 @@ pub fn assign_gaussian_probabilities<R: Rng + ?Sized>(
     UncertainDatabase::new(transactions, db.dictionary().clone())
 }
 
+/// Return a copy of `db` whose transactions carry fresh probabilities
+/// drawn uniformly from `[lo, hi]` (both clamped into
+/// `[MIN_ASSIGNED_PROBABILITY, MAX_ASSIGNED_PROBABILITY]`).
+///
+/// A high uniform band like `[0.6, 0.9]` produces the *high-probability*
+/// regime the Gaussian protocol rarely reaches: every removal in the
+/// incremental frequentness DP stays within the amplification guard, so
+/// the downdate fast path actually fires — the configuration the smoke
+/// benchmark uses to exercise `dp_incremental` in CI.
+///
+/// # Panics
+///
+/// Panics when `lo > hi`.
+pub fn assign_uniform_probabilities<R: Rng + ?Sized>(
+    db: &UncertainDatabase,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> UncertainDatabase {
+    assert!(lo <= hi, "uniform probability band is empty: {lo} > {hi}");
+    let lo = lo.clamp(MIN_ASSIGNED_PROBABILITY, MAX_ASSIGNED_PROBABILITY);
+    let hi = hi.clamp(MIN_ASSIGNED_PROBABILITY, MAX_ASSIGNED_PROBABILITY);
+    let transactions = db
+        .transactions()
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            t.set_probability(lo + (hi - lo) * rng.random::<f64>());
+            t
+        })
+        .collect();
+    UncertainDatabase::new(transactions, db.dictionary().clone())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +144,25 @@ mod tests {
         assert!(probs
             .iter()
             .all(|&p| (MIN_ASSIGNED_PROBABILITY..=MAX_ASSIGNED_PROBABILITY).contains(&p)));
+    }
+
+    #[test]
+    fn uniform_band_stays_inside_and_is_deterministic() {
+        let db = certain_db(500);
+        let udb = assign_uniform_probabilities(&db, 0.6, 0.9, &mut SmallRng::seed_from_u64(5));
+        assert!(udb
+            .transactions()
+            .iter()
+            .all(|t| (0.6..=0.9).contains(&t.probability())));
+        let again = assign_uniform_probabilities(&db, 0.6, 0.9, &mut SmallRng::seed_from_u64(5));
+        for (a, b) in udb.transactions().iter().zip(again.transactions()) {
+            assert_eq!(a.probability(), b.probability());
+        }
+        // The band clamps into the assignable range.
+        let clamped = assign_uniform_probabilities(&db, 0.0, 2.0, &mut SmallRng::seed_from_u64(6));
+        assert!(clamped.transactions().iter().all(|t| {
+            (MIN_ASSIGNED_PROBABILITY..=MAX_ASSIGNED_PROBABILITY).contains(&t.probability())
+        }));
     }
 
     #[test]

@@ -43,8 +43,18 @@ if [[ $SMOKE == 1 ]]; then
     # and the schema, not absolute timings.
     # --threads 2 exercises the work-stealing pool (sharded sinks,
     # chunked sampling) end-to-end through the report pipeline.
+    # The smoke matrix includes the high-probability dataset; the
+    # binary itself asserts its MPFCI cell recorded incremental DP
+    # downdates and that every cell's decision audit reconciles with
+    # the kernel counters.
     "${BENCH[@]}" --smoke --label smoke --budget 5 --threads 2 --out-dir "$out"
     "${BENCH[@]}" --validate "$out/BENCH_smoke.json"
+    # Cross-version gate: the fresh schema-v4 report must still load
+    # and compare against the committed v3 kernel baseline. The huge
+    # threshold makes this a schema/pipeline check, not a machine-speed
+    # check (sub-noise-floor and budget-cut cells are skipped anyway).
+    "${BENCH[@]}" --compare BENCH_kernel.json "$out/BENCH_smoke.json" \
+        --fail-on-regress 100000
     # Kernel micro-benches (bitmap intersection, incremental-vs-full DP):
     # run once to prove they execute; timings are informational here.
     cargo bench -q -p pfcim-bench --bench micro_kernels

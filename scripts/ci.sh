@@ -24,5 +24,19 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # Benchmark pipeline smoke: run the tiny matrix end-to-end and
 # schema-validate the emitted BENCH_smoke.json.
 run scripts/bench.sh --smoke
+# Profiler/exporter smoke: mine the high-probability dataset under the
+# span profiler and check both artifacts exist and carry the expected
+# markers. Deep validation (JSON round-trip, span nesting, Prometheus
+# linting) lives in crates/bench/tests/profile_exporters.rs; the pfcim
+# binary additionally lints its own --prom output before writing it.
+profdir=target/profile-smoke
+mkdir -p "$profdir"
+run cargo run --release -q -p pfcim-bench --example gen_smoke_dat -- "$profdir/smoke.dat"
+run cargo run --release -q -p pfcim --bin pfcim -- profile "$profdir/smoke.dat" \
+    --min-sup 1% --out "$profdir/trace.json" --sample 4 \
+    --prom "$profdir/metrics.prom" --stats
+run grep -q '"traceEvents"' "$profdir/trace.json"
+run grep -q '^pfcim_nodes_visited ' "$profdir/metrics.prom"
+run grep -q '^# TYPE pfcim_audit_incremental counter' "$profdir/metrics.prom"
 
 echo "ci: all checks passed"

@@ -3,7 +3,9 @@
 //! ```text
 //! pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] [--epsilon E] [--delta D]
 //!       [--variant mpfci|bfs|naive] [--threads N] [--stats]
-//!       [--trace FILE.jsonl] [--metrics FILE.json]
+//!       [--trace FILE.jsonl] [--metrics FILE.json] [--prom FILE.prom]
+//! pfcim profile <FILE.dat> --min-sup <N|R%> [--out trace.json] [--sample N]
+//!       [...same mining options...]
 //! ```
 //!
 //! `--threads N` fans the DFS miner and `ApproxFCP` sampling out over an
@@ -16,6 +18,16 @@
 //! the resulting registry snapshot (counters mirroring the miner stats,
 //! plus latency/size histogram summaries) as one JSON object. `--stats`
 //! prints the same distributions to stderr alongside the counters.
+//! `--prom` writes the same snapshot in the Prometheus text exposition
+//! format (counters, gauges and `summary` quantiles, all prefixed
+//! `pfcim_`), self-checked through [`lint_prometheus`] before writing.
+//!
+//! The `profile` subcommand attaches a [`SpanProfiler`] and writes a
+//! Chrome trace-event JSON (load it at <https://ui.perfetto.dev>) with
+//! one track per miner worker: DFS node spans, per-phase spans beneath
+//! them, and the work-stealing pool's task/steal/idle spans. `--sample N`
+//! records every Nth node span (default 1 = all); the per-reason DP
+//! decision audit is printed to stderr after the run.
 //!
 //! The input format is one transaction per line: whitespace-separated
 //! integer item ids, optionally followed by `: probability` (lines
@@ -30,7 +42,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pfcim::core::{Algorithm, HistogramSink, JsonlSink, Miner, MinerConfig, SearchStrategy, Tee};
+use pfcim::core::{
+    lint_prometheus, Algorithm, HistogramSink, JsonlSink, Miner, MinerConfig, SearchStrategy,
+    SpanProfiler, Tee,
+};
 use pfcim::utdb::io;
 
 struct Args {
@@ -44,6 +59,10 @@ struct Args {
     stats: bool,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    prom: Option<PathBuf>,
+    profile: bool,
+    out: PathBuf,
+    sample: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,7 +76,15 @@ fn parse_args() -> Result<Args, String> {
     let mut stats = false;
     let mut trace = None;
     let mut metrics = None;
-    let mut argv = std::env::args().skip(1);
+    let mut prom = None;
+    let mut profile = false;
+    let mut out = PathBuf::from("trace.json");
+    let mut sample = 1u32;
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("profile") {
+        profile = true;
+        argv.next();
+    }
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| -> Result<String, String> {
             argv.next().ok_or(format!("{name} needs a value"))
@@ -86,6 +113,16 @@ fn parse_args() -> Result<Args, String> {
             "--stats" => stats = true,
             "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
             "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--prom" => prom = Some(PathBuf::from(value("--prom")?)),
+            "--out" if profile => out = PathBuf::from(value("--out")?),
+            "--sample" if profile => {
+                sample = value("--sample")?
+                    .parse()
+                    .map_err(|e| format!("sample: {e}"))?;
+                if sample == 0 {
+                    return Err("--sample must be at least 1".into());
+                }
+            }
             "--help" | "-h" => return Err(String::new()),
             other if file.is_none() && !other.starts_with('-') => file = Some(PathBuf::from(other)),
             other => return Err(format!("unknown argument {other:?}")),
@@ -102,6 +139,10 @@ fn parse_args() -> Result<Args, String> {
         stats,
         trace,
         metrics,
+        prom,
+        profile,
+        out,
+        sample,
     })
 }
 
@@ -115,7 +156,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] \
                  [--epsilon E] [--delta D] [--variant mpfci|bfs|naive] [--threads N] \
-                 [--stats] [--trace FILE.jsonl] [--metrics FILE.json]"
+                 [--stats] [--trace FILE.jsonl] [--metrics FILE.json] [--prom FILE.prom]\n\
+                 \x20      pfcim profile <FILE.dat> --min-sup <N|R%> [--out trace.json] \
+                 [--sample N] [...same mining options...]"
             );
             return ExitCode::from(2);
         }
@@ -182,10 +225,18 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    // --metrics and --stats both record the run's cost distributions.
-    let mut hist = (args.stats || args.metrics.is_some()).then(HistogramSink::new);
+    // --metrics, --stats and --prom all record the run's cost
+    // distributions; `profile` attaches the hierarchical span recorder.
+    let mut hist =
+        (args.stats || args.metrics.is_some() || args.prom.is_some()).then(HistogramSink::new);
+    let mut profiler = args
+        .profile
+        .then(|| SpanProfiler::new().with_sampling(args.sample));
     let outcome = {
-        let mut sink = Tee(trace_sink.as_mut().map(|(_, s)| s), hist.as_mut());
+        let mut sink = Tee(
+            profiler.as_mut(),
+            Tee(trace_sink.as_mut().map(|(_, s)| s), hist.as_mut()),
+        );
         let algorithm = match args.variant.as_str() {
             "naive" => Algorithm::Naive,
             "bfs" => Algorithm::Bfs,
@@ -221,6 +272,33 @@ fn main() -> ExitCode {
             }
             eprintln!("metrics written to {}", path.display());
         }
+        if let Some(path) = &args.prom {
+            let text = hist.snapshot().to_prometheus("pfcim");
+            if let Err(e) = lint_prometheus(&text) {
+                eprintln!("error: generated Prometheus output fails its own linter: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("prometheus metrics written to {}", path.display());
+        }
+    }
+    if let Some(profiler) = &profiler {
+        if let Err(e) = std::fs::write(&args.out, profiler.chrome_trace_json()) {
+            eprintln!("error: cannot write trace {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "chrome trace written to {} ({} spans, sample 1/{}; load at https://ui.perfetto.dev)",
+            args.out.display(),
+            profiler.spans().len(),
+            args.sample,
+        );
+        // The decision audit: one recorded reason per frequentness-DP
+        // row — downdates taken, and why each refused row was rebuilt.
+        eprintln!("# dp audit: {}", outcome.audit);
     }
 
     for pfci in &outcome.results {
@@ -236,6 +314,24 @@ fn main() -> ExitCode {
     if args.stats {
         eprintln!("{}", outcome.timed_stats());
         eprintln!("# kernel: {}", outcome.kernel);
+        // The raw hit/miss counters above are hard to eyeball; print the
+        // derived rate and the capacity that produced it.
+        let (hits, misses) = (
+            outcome.kernel.bound_cache_hits,
+            outcome.kernel.bound_cache_misses,
+        );
+        let lookups = hits + misses;
+        let rate = if lookups == 0 {
+            "-".to_owned()
+        } else {
+            format!("{:.1}%", 100.0 * hits as f64 / lookups as f64)
+        };
+        eprintln!(
+            "# bound_cache: hit rate {rate} ({hits}/{lookups} lookups), \
+             event_cache_capacity={}",
+            config.event_cache_capacity
+        );
+        eprintln!("# dp audit: {}", outcome.audit);
         if let Some(hist) = &hist {
             for (name, h) in hist.snapshot().histograms() {
                 eprintln!("# {name}: {}", h.summary());

@@ -107,6 +107,49 @@ fn counting_sink_reconciles_with_miner_stats() {
 }
 
 #[test]
+fn dp_decision_audit_reconciles_with_kernel_counters() {
+    // Every frequentness-DP row decision carries exactly one recorded
+    // reason: downdates match the kernel's incremental counter, and the
+    // per-reason rebuild counters (including the refusal reasons) sum
+    // exactly to the kernel's recompute counter — for every strategy,
+    // both via the sink's copy and the outcome's.
+    let db = table2();
+    for (name, cfg, run) in all_miners() {
+        let mut sink = CountingSink::default();
+        let outcome = run(&db, &cfg, &mut sink);
+        assert_eq!(
+            sink.audit, outcome.audit,
+            "{name}: sink-audited decisions diverge from the outcome audit"
+        );
+        assert_eq!(
+            outcome.audit.incremental, outcome.kernel.dp_incremental,
+            "{name}: incremental decisions vs kernel counter"
+        );
+        assert_eq!(
+            outcome.audit.recomputed(),
+            outcome.kernel.dp_recomputed,
+            "{name}: per-reason rebuilds must sum to dp_recomputed"
+        );
+        assert!(
+            outcome.audit.refusals() <= outcome.audit.recomputed(),
+            "{name}: refusals are a subset of rebuilds"
+        );
+        if name == "naive" {
+            // The Naive baseline runs its DPs in the PFI stage, outside
+            // the audited evaluator: the audit stays empty rather than
+            // inventing unattributable decisions.
+            assert_eq!(outcome.audit.total(), 0, "naive audit stays empty");
+        } else {
+            assert_eq!(
+                outcome.audit.total(),
+                outcome.kernel.dp_rows(),
+                "{name}: one decision per DP row"
+            );
+        }
+    }
+}
+
+#[test]
 fn observation_does_not_perturb_mining() {
     // A fully-instrumented run must produce byte-identical results and
     // counters to the NullSink fast path.
