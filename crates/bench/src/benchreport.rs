@@ -24,13 +24,16 @@ use pfcim_core::HistogramSummary;
 /// rows, bound-cache hits/misses, bitmap words scanned); version 4 added
 /// the per-entry `span_s` profiler rollup (total seconds per span kind
 /// from a sampled [`pfcim_core::SpanProfiler`]) and the `audit` map (the
-/// [`pfcim_core::DpAudit`] per-reason DP decision counters). Version-1
-/// through version-3 documents are still accepted by
+/// [`pfcim_core::DpAudit`] per-reason DP decision counters); version 5
+/// added the optional top-level `telemetry` block ([`TelemetryOverhead`]:
+/// the measured wall-clock cost of running the matrix's reference cell
+/// with a live telemetry session attached, which `bench-report` gates at
+/// ≤5 %). Version-1 through version-4 documents are still accepted by
 /// [`BenchReport::from_json`]: v1 reads as `threads = 1` — everything
 /// before the parallel miner was sequential — pre-v3 entries read with
-/// an empty kernel map, and pre-v4 entries read with empty span/audit
-/// maps.
-pub const SCHEMA_VERSION: u64 = 4;
+/// an empty kernel map, pre-v4 entries read with empty span/audit maps,
+/// and pre-v5 documents read with no telemetry block.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema version [`BenchReport::from_json`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -420,6 +423,62 @@ impl BenchEntry {
     }
 }
 
+/// The measured cost of live telemetry (schema v5): the report's
+/// reference cell mined twice — bare, then with a [`pfcim_core::
+/// Telemetry`] session (sampler thread + attached sink) at the default
+/// sample interval — both as a median of repeated runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryOverhead {
+    /// Identity of the measured cell ([`BenchEntry::key`] format).
+    pub cell: String,
+    /// Sampler interval the overhead was measured at (milliseconds).
+    pub sample_interval_ms: u64,
+    /// Median wall-clock seconds without telemetry.
+    pub baseline_s: f64,
+    /// Median wall-clock seconds with the telemetry session attached.
+    pub telemetry_s: f64,
+    /// Relative cost in percent: `(telemetry/baseline − 1) · 100`.
+    pub overhead_pct: f64,
+}
+
+impl TelemetryOverhead {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"cell\":\"{}\",\"sample_interval_ms\":{},\"baseline_s\":{},\
+             \"telemetry_s\":{},\"overhead_pct\":{}}}",
+            self.cell,
+            self.sample_interval_ms,
+            self.baseline_s,
+            self.telemetry_s,
+            self.overhead_pct,
+        )
+    }
+
+    fn from_json(v: &JsonValue) -> Result<TelemetryOverhead, String> {
+        Ok(TelemetryOverhead {
+            cell: field_str(v, "cell")?,
+            sample_interval_ms: field_u64(v, "sample_interval_ms")?,
+            baseline_s: field_f64(v, "baseline_s")?,
+            telemetry_s: field_f64(v, "telemetry_s")?,
+            overhead_pct: field_f64(v, "overhead_pct")?,
+        })
+    }
+}
+
+impl fmt::Display for TelemetryOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3}s -> {:.3}s ({:+.1}%) at {}ms sampling",
+            self.cell,
+            self.baseline_s,
+            self.telemetry_s,
+            self.overhead_pct,
+            self.sample_interval_ms
+        )
+    }
+}
+
 /// A complete `BENCH_<label>.json` document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -434,6 +493,9 @@ pub struct BenchReport {
     pub threads: u64,
     /// Unix timestamp of report creation.
     pub created_unix: u64,
+    /// Measured telemetry overhead (schema v5; `None` for older reports
+    /// or runs that skipped the measurement).
+    pub telemetry: Option<TelemetryOverhead>,
     /// One entry per matrix cell.
     pub entries: Vec<BenchEntry>,
 }
@@ -446,9 +508,13 @@ impl BenchReport {
 
     /// Serialize: one top-level object, one line per entry (diff-friendly).
     pub fn to_json(&self) -> String {
+        let telemetry = match &self.telemetry {
+            Some(t) => format!("  \"telemetry\": {},\n", t.to_json()),
+            None => String::new(),
+        };
         let mut out = format!(
             "{{\n  \"version\": {},\n  \"label\": \"{}\",\n  \"scale\": \"{}\",\n  \
-             \"threads\": {},\n  \"created_unix\": {},\n  \"entries\": [\n",
+             \"threads\": {},\n  \"created_unix\": {},\n{telemetry}  \"entries\": [\n",
             self.version, self.label, self.scale, self.threads, self.created_unix
         );
         for (i, e) in self.entries.iter().enumerate() {
@@ -489,6 +555,14 @@ impl BenchReport {
                 1
             },
             created_unix: field_u64(&root, "created_unix")?,
+            telemetry: match root.get("telemetry") {
+                // Optional at every version: pre-v5 documents simply
+                // lack it, and v5 runs may skip the measurement.
+                None | Some(JsonValue::Null) => None,
+                Some(v) => {
+                    Some(TelemetryOverhead::from_json(v).map_err(|e| format!("telemetry: {e}"))?)
+                }
+            },
             entries: root
                 .get("entries")
                 .and_then(JsonValue::as_arr)
@@ -772,6 +846,7 @@ mod tests {
             scale: "tiny".to_owned(),
             threads: 4,
             created_unix: 1_754_000_000,
+            telemetry: None,
             entries: vec![sample_entry("MPFCI", elapsed_s), sample_entry("Naive", 2.0)],
         }
     }
@@ -801,6 +876,34 @@ mod tests {
         let parsed = BenchReport::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed, report);
         assert_eq!(parsed.file_name(), "BENCH_test.json");
+    }
+
+    #[test]
+    fn telemetry_block_round_trips_and_stays_optional() {
+        let mut report = sample_report(1.0);
+        report.telemetry = Some(TelemetryOverhead {
+            cell: "HighProb/MPFCI/min_sup=0.4".to_owned(),
+            sample_interval_ms: 100,
+            baseline_s: 0.5,
+            telemetry_s: 0.51,
+            overhead_pct: 2.0,
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"telemetry\": {\"cell\""));
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+        // A v4 document — no telemetry block — still parses, as None.
+        let mut old = sample_report(1.0);
+        old.version = 4;
+        let parsed = BenchReport::from_json(&old.to_json()).unwrap();
+        assert_eq!(parsed.telemetry, None);
+        // A malformed block is an error, not silently None.
+        let bad = json.replace("\"baseline_s\":0.5", "\"baseline_s\":\"slow\"");
+        let err = BenchReport::from_json(&bad).unwrap_err();
+        assert!(
+            err.contains("telemetry") && err.contains("baseline_s"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [EXPERIMENTS...] [--scale tiny|laptop|paper] [--budget SECONDS]
-//!       [--out DIR] [--threads N] [--trace FILE.jsonl] [--progress]
-//!       [--metrics FILE.json]
+//!       [--out DIR] [--threads N] [--event-cache N] [--trace FILE.jsonl]
+//!       [--progress] [--metrics FILE.json]
 //!
 //! EXPERIMENTS: all (default), fig5, fig6, fig7, fig8, fig9, fig10,
 //!              fig11, fig12, table7, table8
@@ -13,7 +13,10 @@
 //! experiment drivers build their configs internally, so the flag is
 //! forwarded through the `PFCIM_THREADS` environment variable). `0`
 //! means auto-detect; `1` — the default here, for run-to-run
-//! reproducibility — is the sequential miner.
+//! reproducibility — is the sequential miner. `--event-cache N` sets the
+//! evaluator's bound-input cache capacity for every cell the same way,
+//! via `PFCIM_EVENT_CACHE` (`0` disables memoization; capacity only
+//! affects speed, never the mined results).
 //!
 //! Results are printed as aligned tables and archived as CSV under the
 //! output directory (default `results/`). `--trace` streams every mining
@@ -76,6 +79,13 @@ fn parse_args() -> Result<Args, String> {
                 let n: usize = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
                 threads = Some(n);
             }
+            "--event-cache" => {
+                let v = argv.next().ok_or("--event-cache needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad cache capacity {v:?}"))?;
+                // Same forwarding trick as --threads: the drivers build
+                // configs internally, and MinerConfig::new reads this.
+                std::env::set_var("PFCIM_EVENT_CACHE", n.to_string());
+            }
             "--trace" => {
                 trace = Some(PathBuf::from(argv.next().ok_or("--trace needs a value")?));
             }
@@ -125,8 +135,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [EXPERIMENTS...] [--scale tiny|laptop|paper] \
-                 [--budget SECONDS] [--out DIR] [--threads N] [--trace FILE.jsonl] \
-                 [--progress] [--metrics FILE.json]\n\
+                 [--budget SECONDS] [--out DIR] [--threads N] [--event-cache N] \
+                 [--trace FILE.jsonl] [--progress] [--metrics FILE.json]\n\
                  EXPERIMENTS: all {}",
                 ALL_EXPERIMENTS.join(" ")
             );

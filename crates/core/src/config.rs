@@ -115,7 +115,26 @@ pub struct MinerConfig {
     pub dp_stability: f64,
     /// Capacity of the evaluator's per-run bound-input (event-table)
     /// cache, keyed by tid-set fingerprint. `0` disables memoization.
+    /// Defaults to the `PFCIM_EVENT_CACHE` environment variable when it
+    /// parses as an integer, else [`DEFAULT_EVENT_CACHE_CAPACITY`];
+    /// override explicitly with
+    /// [`MinerConfig::with_event_cache_capacity`].
     pub event_cache_capacity: usize,
+}
+
+/// Built-in default of [`MinerConfig::event_cache_capacity`] when the
+/// `PFCIM_EVENT_CACHE` environment variable is absent.
+pub const DEFAULT_EVENT_CACHE_CAPACITY: usize = 32;
+
+/// Resolve the default event-cache capacity: `PFCIM_EVENT_CACHE` when it
+/// parses as a non-negative integer (`0` disables memoization), else
+/// [`DEFAULT_EVENT_CACHE_CAPACITY`]. Mirrors how `PFCIM_THREADS` feeds
+/// [`MinerConfig::effective_threads`].
+pub fn default_event_cache_capacity() -> usize {
+    std::env::var("PFCIM_EVENT_CACHE")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_EVENT_CACHE_CAPACITY)
 }
 
 impl MinerConfig {
@@ -135,7 +154,7 @@ impl MinerConfig {
             time_budget: None,
             threads: 0,
             dp_stability: 1e-2,
-            event_cache_capacity: 32,
+            event_cache_capacity: default_event_cache_capacity(),
         }
     }
 
@@ -285,9 +304,17 @@ impl Variant {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that read or write `PFCIM_EVENT_CACHE` —
+    /// the test harness runs `#[test]`s on threads sharing one process
+    /// environment.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn default_config_matches_paper_defaults() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("PFCIM_EVENT_CACHE");
         let c = MinerConfig::new(2, 0.8);
         assert_eq!(c.epsilon, 0.1);
         assert_eq!(c.delta, 0.1);
@@ -335,6 +362,32 @@ mod tests {
     #[test]
     fn min_sup_zero_is_lifted_to_one() {
         assert_eq!(MinerConfig::new(0, 0.5).min_sup, 1);
+    }
+
+    #[test]
+    fn event_cache_capacity_reads_the_environment() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("PFCIM_EVENT_CACHE", "128");
+        assert_eq!(MinerConfig::new(2, 0.8).event_cache_capacity, 128);
+        // Zero is a valid setting: it disables memoization.
+        std::env::set_var("PFCIM_EVENT_CACHE", "0");
+        assert_eq!(MinerConfig::new(2, 0.8).event_cache_capacity, 0);
+        // Garbage falls back to the built-in default.
+        std::env::set_var("PFCIM_EVENT_CACHE", "lots");
+        assert_eq!(
+            MinerConfig::new(2, 0.8).event_cache_capacity,
+            DEFAULT_EVENT_CACHE_CAPACITY
+        );
+        std::env::remove_var("PFCIM_EVENT_CACHE");
+        assert_eq!(
+            MinerConfig::new(2, 0.8).event_cache_capacity,
+            DEFAULT_EVENT_CACHE_CAPACITY
+        );
+        // The builder always wins over the environment.
+        std::env::set_var("PFCIM_EVENT_CACHE", "7");
+        let c = MinerConfig::new(2, 0.8).with_event_cache_capacity(5);
+        assert_eq!(c.event_cache_capacity, 5);
+        std::env::remove_var("PFCIM_EVENT_CACHE");
     }
 
     #[test]

@@ -74,11 +74,15 @@ pub mod prelude;
 pub mod profile;
 pub mod result;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 #[allow(deprecated)]
 pub use bfs::{mine_bfs, mine_bfs_with};
-pub use config::{FcpMethod, MinerConfig, PruningConfig, SearchStrategy, Variant};
+pub use config::{
+    default_event_cache_capacity, FcpMethod, MinerConfig, PruningConfig, SearchStrategy, Variant,
+    DEFAULT_EVENT_CACHE_CAPACITY,
+};
 pub use events::{EventTable, NonClosureEvents, SampleView};
 pub use exact::{exact_fcp_by_worlds, exact_fcp_inclusion_exclusion, exact_pfci_set};
 pub use fcp::{
@@ -91,10 +95,17 @@ pub use miner::{Algorithm, Miner, SinkedMiner};
 pub use mpfci::{mine, mine_dfs, mine_dfs_with, mine_with};
 #[allow(deprecated)]
 pub use naive::{mine_naive, mine_naive_with};
-pub use par::{PoolSpan, PoolSpanKind, PoolTrace};
+pub use par::{
+    scatter_instrumented, PoolGauges, PoolGaugesSnapshot, PoolSpan, PoolSpanKind, PoolTrace,
+    WorkerGauges, MAX_TRACKED_WORKERS,
+};
 pub use profile::{Span, SpanId, SpanKind, SpanProfiler};
 pub use result::{MiningOutcome, Pfci};
 pub use stats::{DpAudit, KernelStats, MinerStats, PhaseTimers, TimedStats};
+pub use telemetry::{
+    http_get, FlightRecorder, Telemetry, TelemetryConfig, TelemetryEvent, TelemetryEventKind,
+    TelemetrySample, TelemetrySink, TelemetryState, WordRing,
+};
 pub use trace::{
     parse_jsonl, CountingSink, DpDecision, FcpEvalKind, JsonlSink, MinerSink, NullSink, Phase,
     ProgressSink, PruneKind, RecordingSink, ShardableSink, ShardedSink, Tee, TraceEvent,

@@ -634,6 +634,10 @@ pub struct HistogramSink {
     fcp_bound_width: Histogram,
     freq_prob: Histogram,
     dp_refusal_magnitude: Histogram,
+    pool_span_s: [Histogram; 3],
+    pool_workers: [crate::par::WorkerGauges; crate::par::MAX_TRACKED_WORKERS],
+    pool_workers_seen: usize,
+    event_cache_capacity: u64,
     elapsed: Duration,
     runs: u64,
 }
@@ -669,6 +673,27 @@ impl HistogramSink {
     /// removals (amp-limit decades, row-validation violations).
     pub fn dp_refusal_magnitude(&self) -> &Histogram {
         &self.dp_refusal_magnitude
+    }
+
+    /// Distribution of pool span durations of `kind` (seconds), fed by
+    /// the post-join [`MinerSink::pool_span`] replay.
+    pub fn pool_span_latency(&self, kind: crate::par::PoolSpanKind) -> &Histogram {
+        &self.pool_span_s[Self::span_slot(kind)]
+    }
+
+    /// Per-worker pool counters (tasks run, steals, idle parks)
+    /// accumulated from the span replay; workers past
+    /// [`crate::par::MAX_TRACKED_WORKERS`] fold into the last slot.
+    pub fn pool_workers(&self) -> &[crate::par::WorkerGauges] {
+        &self.pool_workers[..self.pool_workers_seen]
+    }
+
+    fn span_slot(kind: crate::par::PoolSpanKind) -> usize {
+        match kind {
+            crate::par::PoolSpanKind::Task => 0,
+            crate::par::PoolSpanKind::Steal => 1,
+            crate::par::PoolSpanKind::Idle => 2,
+        }
     }
 
     /// Total wall-clock time of the observed runs.
@@ -711,6 +736,30 @@ impl HistogramSink {
             reg.add(&format!("audit_{name}"), v);
         }
         reg.set_gauge("elapsed_s", self.elapsed.as_secs_f64());
+        // Cache health: capacity is configuration (gauge); the hit rate
+        // only exists once the bound cache saw at least one lookup.
+        reg.set_gauge("event_cache_capacity", self.event_cache_capacity as f64);
+        let lookups = self.kernel.bound_cache_hits + self.kernel.bound_cache_misses;
+        if lookups > 0 {
+            reg.set_gauge(
+                "bound_cache_hit_rate",
+                self.kernel.bound_cache_hits as f64 / lookups as f64,
+            );
+        }
+        // Pool health from the span replay: per-worker counters plus
+        // whole-pool sums, so `--prom` shows scheduler behaviour too.
+        let workers = &self.pool_workers[..self.pool_workers_seen];
+        if !workers.is_empty() {
+            reg.add("pool_tasks", workers.iter().map(|w| w.tasks).sum::<u64>());
+            reg.add("pool_steals", workers.iter().map(|w| w.steals).sum::<u64>());
+            reg.add("pool_idles", workers.iter().map(|w| w.idles).sum::<u64>());
+            reg.set_gauge("pool_workers", workers.len() as f64);
+            for (i, w) in workers.iter().enumerate() {
+                reg.set_gauge(&format!("pool_worker{i}_tasks"), w.tasks as f64);
+                reg.set_gauge(&format!("pool_worker{i}_steals"), w.steals as f64);
+                reg.set_gauge(&format!("pool_worker{i}_idles"), w.idles as f64);
+            }
+        }
         let mut put = |name: &str, h: &Histogram| {
             if !h.is_empty() {
                 reg.histogram(name).merge(h);
@@ -725,6 +774,16 @@ impl HistogramSink {
         put("fcp_bound_width", &self.fcp_bound_width);
         put("freq_prob", &self.freq_prob);
         put("dp_refusal_magnitude", &self.dp_refusal_magnitude);
+        for kind in [
+            crate::par::PoolSpanKind::Task,
+            crate::par::PoolSpanKind::Steal,
+            crate::par::PoolSpanKind::Idle,
+        ] {
+            put(
+                &format!("pool_{}_s", kind.name()),
+                &self.pool_span_s[Self::span_slot(kind)],
+            );
+        }
         reg
     }
 }
@@ -747,6 +806,16 @@ impl HistogramSink {
         self.fcp_bound_width.merge(&other.fcp_bound_width);
         self.freq_prob.merge(&other.freq_prob);
         self.dp_refusal_magnitude.merge(&other.dp_refusal_magnitude);
+        for (mine, theirs) in self.pool_span_s.iter_mut().zip(other.pool_span_s.iter()) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.pool_workers.iter_mut().zip(other.pool_workers.iter()) {
+            mine.tasks += theirs.tasks;
+            mine.steals += theirs.steals;
+            mine.idles += theirs.idles;
+        }
+        self.pool_workers_seen = self.pool_workers_seen.max(other.pool_workers_seen);
+        self.event_cache_capacity = self.event_cache_capacity.max(other.event_cache_capacity);
         self.elapsed += other.elapsed;
         self.runs += other.runs;
     }
@@ -763,9 +832,22 @@ impl ShardableSink for HistogramSink {
 }
 
 impl MinerSink for HistogramSink {
-    fn run_started(&mut self, _algo: &str, _config: &MinerConfig) {
+    fn run_started(&mut self, _algo: &str, config: &MinerConfig) {
         // Gaps across run boundaries are not node latencies.
         self.last_node = None;
+        self.event_cache_capacity = config.event_cache_capacity as u64;
+    }
+    fn pool_span(&mut self, span: &crate::par::PoolSpan) {
+        let slot = Self::span_slot(span.kind);
+        self.pool_span_s[slot].record_duration(span.dur);
+        let w = (span.worker as usize).min(crate::par::MAX_TRACKED_WORKERS - 1);
+        self.pool_workers_seen = self.pool_workers_seen.max(w + 1);
+        let counters = &mut self.pool_workers[w];
+        match span.kind {
+            crate::par::PoolSpanKind::Task => counters.tasks += 1,
+            crate::par::PoolSpanKind::Steal => counters.steals += 1,
+            crate::par::PoolSpanKind::Idle => counters.idles += 1,
+        }
     }
     fn node_entered(&mut self, depth: usize) {
         self.counts.node_entered(depth);
@@ -971,6 +1053,59 @@ mod tests {
         assert!((width.max() - 0.4).abs() < 1e-12);
         // Empty distributions are omitted from the snapshot.
         assert!(reg.get_histogram("phase_fcp_exact_s").is_none());
+    }
+
+    #[test]
+    fn pool_spans_surface_as_metrics() {
+        use crate::par::{PoolSpan, PoolSpanKind};
+        let mut sink = HistogramSink::new();
+        // Before any span replay: no pool families at all.
+        assert!(sink.snapshot().counter("pool_tasks").is_none());
+        let span = |worker, kind| PoolSpan {
+            worker,
+            task: 0,
+            kind,
+            start: Instant::now(),
+            dur: Duration::from_micros(50),
+        };
+        sink.pool_span(&span(0, PoolSpanKind::Task));
+        sink.pool_span(&span(0, PoolSpanKind::Task));
+        sink.pool_span(&span(1, PoolSpanKind::Task));
+        sink.pool_span(&span(1, PoolSpanKind::Steal));
+        sink.pool_span(&span(1, PoolSpanKind::Idle));
+        let reg = sink.snapshot();
+        assert_eq!(reg.counter("pool_tasks"), Some(3));
+        assert_eq!(reg.counter("pool_steals"), Some(1));
+        assert_eq!(reg.counter("pool_idles"), Some(1));
+        assert_eq!(reg.gauge("pool_workers"), Some(2.0));
+        assert_eq!(reg.gauge("pool_worker0_tasks"), Some(2.0));
+        assert_eq!(reg.gauge("pool_worker1_steals"), Some(1.0));
+        assert_eq!(reg.get_histogram("pool_task_s").unwrap().count(), 3);
+        assert_eq!(reg.get_histogram("pool_steal_s").unwrap().count(), 1);
+        // The whole document still lints.
+        lint_prometheus(&reg.to_prometheus("pfcim")).unwrap();
+        // Merging two sinks adds counters per worker slot.
+        let mut other = HistogramSink::new();
+        other.pool_span(&span(1, PoolSpanKind::Task));
+        sink.merge(&other);
+        let reg = sink.snapshot();
+        assert_eq!(reg.counter("pool_tasks"), Some(4));
+        assert_eq!(reg.gauge("pool_worker1_tasks"), Some(2.0));
+    }
+
+    #[test]
+    fn cache_gauges_surface_capacity_and_hit_rate() {
+        let mut sink = HistogramSink::new();
+        sink.run_started("mpfci", &MinerConfig::new(2, 0.8));
+        // No lookups yet: capacity is exported, the rate is not.
+        let reg = sink.snapshot();
+        assert_eq!(reg.gauge("event_cache_capacity"), Some(32.0));
+        assert!(reg.gauge("bound_cache_hit_rate").is_none());
+        sink.kernel.bound_cache_hits = 3;
+        sink.kernel.bound_cache_misses = 1;
+        let reg = sink.snapshot();
+        assert_eq!(reg.gauge("bound_cache_hit_rate"), Some(0.75));
+        lint_prometheus(&reg.to_prometheus("pfcim")).unwrap();
     }
 
     #[test]

@@ -209,9 +209,12 @@ fn mine_dfs_parallel<S: ShardableSink + ?Sized>(
     // Pool spans (task/steal/idle per worker) are only worth their
     // timestamps when some sink will consume them.
     let pool = sharded.parent().is_enabled().then(par::PoolTrace::new);
+    // Live pool gauges (queue depth, per-worker counters) for sinks that
+    // watch the run from another thread — e.g. the telemetry sampler.
+    let gauges = sharded.parent().pool_gauges();
 
     let worker_cfg = &worker_cfg;
-    let per_root = par::scatter_observed(
+    let per_root = par::scatter_instrumented(
         threads,
         roots,
         |_, (id, mut shard)| {
@@ -241,6 +244,7 @@ fn mine_dfs_parallel<S: ShardableSink + ?Sized>(
             (shard, results, stats, kernel, timers, audit, timed_out)
         },
         pool.as_ref(),
+        gauges.as_deref(),
     );
 
     let mut stats = MinerStats::default();

@@ -28,6 +28,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -101,6 +102,145 @@ impl PoolTrace {
         spans.sort_by_key(|s| (s.worker, s.start));
         spans
     }
+}
+
+/// Per-worker live counter arrays in [`PoolGauges`] track at most this
+/// many workers; the counters of any worker past the cap fold into the
+/// last slot, so no event is ever dropped.
+pub const MAX_TRACKED_WORKERS: usize = 32;
+
+/// Live, lock-free health counters of the work-stealing pool, updated by
+/// [`scatter_instrumented`] *while the workers run* — unlike
+/// [`PoolTrace`], whose spans only become visible after the join barrier.
+///
+/// All counters are cumulative over the gauges' lifetime (a run may
+/// contain several scatters) and are updated with relaxed atomics: a
+/// reader sampling mid-run sees a near-instantaneous, possibly slightly
+/// torn-across-counters view, which is exactly the right trade for
+/// telemetry. Queue depth is derived: `total − completed` is the number
+/// of submitted tasks not yet finished (queued or in flight).
+#[derive(Debug)]
+pub struct PoolGauges {
+    total: AtomicU64,
+    completed: AtomicU64,
+    workers: AtomicU64,
+    scatters: AtomicU64,
+    tasks: [AtomicU64; MAX_TRACKED_WORKERS],
+    steals: [AtomicU64; MAX_TRACKED_WORKERS],
+    idles: [AtomicU64; MAX_TRACKED_WORKERS],
+}
+
+impl Default for PoolGauges {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PoolGauges {
+    /// Fresh gauges, all zero.
+    pub fn new() -> Self {
+        let zeros = || std::array::from_fn(|_| AtomicU64::new(0));
+        Self {
+            total: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            workers: AtomicU64::new(0),
+            scatters: AtomicU64::new(0),
+            tasks: zeros(),
+            steals: zeros(),
+            idles: zeros(),
+        }
+    }
+
+    fn slot(worker: usize) -> usize {
+        worker.min(MAX_TRACKED_WORKERS - 1)
+    }
+
+    /// A scatter of `tasks` tasks over `workers` workers is starting.
+    pub fn begin(&self, tasks: usize, workers: usize) {
+        self.total.fetch_add(tasks as u64, Ordering::Relaxed);
+        self.workers.fetch_max(workers as u64, Ordering::Relaxed);
+        self.scatters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker `worker` finished executing one task.
+    pub fn task_done(&self, worker: usize) {
+        self.tasks[Self::slot(worker)].fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker `worker` completed a steal sweep that found work.
+    pub fn stole(&self, worker: usize) {
+        self.steals[Self::slot(worker)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker `worker` completed an empty (terminal) steal sweep.
+    pub fn idled(&self, worker: usize) {
+        self.idles[Self::slot(worker)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter, safe to take from any
+    /// thread while workers are running.
+    pub fn snapshot(&self) -> PoolGaugesSnapshot {
+        let workers = self.workers.load(Ordering::Relaxed) as usize;
+        let tracked = workers.min(MAX_TRACKED_WORKERS);
+        let per_worker = (0..tracked)
+            .map(|w| WorkerGauges {
+                tasks: self.tasks[w].load(Ordering::Relaxed),
+                steals: self.steals[w].load(Ordering::Relaxed),
+                idles: self.idles[w].load(Ordering::Relaxed),
+            })
+            .collect();
+        PoolGaugesSnapshot {
+            total: self.total.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            workers: workers as u64,
+            scatters: self.scatters.load(Ordering::Relaxed),
+            per_worker,
+        }
+    }
+}
+
+/// A point-in-time copy of [`PoolGauges`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolGaugesSnapshot {
+    /// Tasks submitted across all scatters so far.
+    pub total: u64,
+    /// Tasks finished so far (`total − completed` = queued or in flight).
+    pub completed: u64,
+    /// Largest worker count any scatter ran with.
+    pub workers: u64,
+    /// Number of scatters started.
+    pub scatters: u64,
+    /// Per-worker counters, one entry per tracked worker.
+    pub per_worker: Vec<WorkerGauges>,
+}
+
+impl PoolGaugesSnapshot {
+    /// Sum of per-worker task counts (equals `completed` at rest).
+    pub fn tasks(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Sum of per-worker successful steal sweeps.
+    pub fn steals(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.steals).sum()
+    }
+
+    /// Sum of per-worker terminal idle sweeps.
+    pub fn idles(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.idles).sum()
+    }
+}
+
+/// One worker's counters inside a [`PoolGaugesSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerGauges {
+    /// Tasks this worker executed.
+    pub tasks: u64,
+    /// Steal sweeps that found work.
+    pub steals: u64,
+    /// Terminal empty sweeps.
+    pub idles: u64,
 }
 
 /// Number of hardware threads, with a fallback of 1 when the platform
@@ -185,8 +325,32 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    scatter_instrumented(threads, items, f, trace, None)
+}
+
+/// [`scatter_observed`] with an additional *live* observability channel:
+/// when `gauges` is given, queue depth, per-worker task/steal/idle
+/// counts and completion progress are published through relaxed atomics
+/// **while the workers run** — a sampler thread on another core can
+/// watch the scatter progress in real time, which the post-join
+/// [`PoolTrace`] replay cannot provide.
+pub fn scatter_instrumented<T, R, F>(
+    threads: usize,
+    items: Vec<T>,
+    f: F,
+    trace: Option<&PoolTrace>,
+    gauges: Option<&PoolGauges>,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     if threads <= 1 || n <= 1 {
+        if let Some(g) = gauges {
+            g.begin(n, 1);
+        }
         return items
             .into_iter()
             .enumerate()
@@ -202,11 +366,17 @@ where
                         dur: start.elapsed(),
                     });
                 }
+                if let Some(g) = gauges {
+                    g.task_done(0);
+                }
                 r
             })
             .collect();
     }
     let workers = threads.min(n);
+    if let Some(g) = gauges {
+        g.begin(n, workers);
+    }
     let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, t) in items.into_iter().enumerate() {
@@ -221,9 +391,9 @@ where
         let panicked = &panicked;
         std::thread::scope(|scope| {
             for me in 1..workers {
-                scope.spawn(move || run_worker(me, queues, results, f, panicked, trace));
+                scope.spawn(move || run_worker(me, queues, results, f, panicked, trace, gauges));
             }
-            run_worker(0, queues, results, f, panicked, trace);
+            run_worker(0, queues, results, f, panicked, trace, gauges);
         });
     }
     if let Some(payload) = lock(&panicked).take() {
@@ -239,6 +409,7 @@ where
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_worker<T, R, F>(
     me: usize,
     queues: &[Mutex<VecDeque<(usize, T)>>],
@@ -246,6 +417,7 @@ fn run_worker<T, R, F>(
     f: &F,
     panicked: &Mutex<Option<Box<dyn Any + Send>>>,
     trace: Option<&PoolTrace>,
+    gauges: Option<&PoolGauges>,
 ) where
     F: Fn(usize, T) -> R,
 {
@@ -281,6 +453,13 @@ fn run_worker<T, R, F>(
                         dur: start.elapsed(),
                     });
                 }
+                if let Some(g) = gauges {
+                    if stolen.is_some() {
+                        g.stole(me);
+                    } else {
+                        g.idled(me);
+                    }
+                }
                 stolen
             }
         };
@@ -297,6 +476,9 @@ fn run_worker<T, R, F>(
                                 start,
                                 dur: start.elapsed(),
                             });
+                        }
+                        if let Some(g) = gauges {
+                            g.task_done(me);
                         }
                         *lock(&results[i]) = Some(r);
                     }
@@ -404,6 +586,56 @@ mod tests {
                 assert!(spans.iter().any(|s| s.kind == PoolSpanKind::Idle));
             }
         }
+    }
+
+    #[test]
+    fn gauges_count_every_task_once() {
+        for threads in [1, 4] {
+            let gauges = PoolGauges::new();
+            let out = scatter_instrumented(
+                threads,
+                (0..23usize).collect(),
+                |_, x| x,
+                None,
+                Some(&gauges),
+            );
+            assert_eq!(out.len(), 23);
+            let snap = gauges.snapshot();
+            assert_eq!(snap.total, 23);
+            assert_eq!(snap.completed, 23);
+            assert_eq!(snap.tasks(), 23);
+            assert_eq!(snap.scatters, 1);
+            assert!(snap.workers >= 1);
+            if threads > 1 {
+                // Every spawned worker's terminal sweep is an idle.
+                assert!(snap.idles() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn gauges_accumulate_across_scatters() {
+        let gauges = PoolGauges::new();
+        scatter_instrumented(2, (0..5usize).collect(), |_, x| x, None, Some(&gauges));
+        scatter_instrumented(2, (0..7usize).collect(), |_, x| x, None, Some(&gauges));
+        let snap = gauges.snapshot();
+        assert_eq!(snap.total, 12);
+        assert_eq!(snap.completed, 12);
+        assert_eq!(snap.scatters, 2);
+    }
+
+    #[test]
+    fn gauges_fold_excess_workers_into_last_slot() {
+        let gauges = PoolGauges::new();
+        // Worker indices past the cap must not panic and must still count.
+        gauges.task_done(MAX_TRACKED_WORKERS + 5);
+        gauges.stole(MAX_TRACKED_WORKERS + 5);
+        gauges.idled(MAX_TRACKED_WORKERS + 5);
+        gauges.begin(1, MAX_TRACKED_WORKERS + 6);
+        let snap = gauges.snapshot();
+        assert_eq!(snap.per_worker.len(), MAX_TRACKED_WORKERS);
+        let last = snap.per_worker.last().unwrap();
+        assert_eq!((last.tasks, last.steals, last.idles), (1, 1, 1));
     }
 
     #[test]

@@ -330,6 +330,16 @@ pub trait MinerSink {
     /// thread after the join barrier, in worker order.
     fn pool_span(&mut self, span: &crate::par::PoolSpan) {}
 
+    /// Live work-stealing-pool gauges this sink wants the parallel
+    /// fan-out to feed *while workers run* (queue depth, per-worker
+    /// task/steal/idle counts). `None` — the default — means the sink
+    /// only needs the post-join [`MinerSink::pool_span`] replay. The
+    /// parallel driver asks once per fan-out; combinators forward the
+    /// first `Some` they find.
+    fn pool_gauges(&self) -> Option<std::sync::Arc<crate::par::PoolGauges>> {
+        None
+    }
+
     /// FCP bounds (Lemma 4.4) were computed for a candidate.
     fn fcp_bounds(&mut self, lower: f64, upper: f64) {}
 
@@ -401,6 +411,9 @@ macro_rules! forward_sink {
             }
             fn pool_span(&mut self, span: &crate::par::PoolSpan) {
                 (**self).pool_span(span)
+            }
+            fn pool_gauges(&self) -> Option<std::sync::Arc<crate::par::PoolGauges>> {
+                (**self).pool_gauges()
             }
             fn fcp_bounds(&mut self, lower: f64, upper: f64) {
                 (**self).fcp_bounds(lower, upper)
@@ -497,6 +510,9 @@ impl<S: MinerSink> MinerSink for Option<S> {
             s.pool_span(span);
         }
     }
+    fn pool_gauges(&self) -> Option<std::sync::Arc<crate::par::PoolGauges>> {
+        self.as_ref().and_then(MinerSink::pool_gauges)
+    }
     fn fcp_bounds(&mut self, lower: f64, upper: f64) {
         if let Some(s) = self {
             s.fcp_bounds(lower, upper);
@@ -580,6 +596,9 @@ impl<A: MinerSink, B: MinerSink> MinerSink for Tee<A, B> {
     fn pool_span(&mut self, span: &crate::par::PoolSpan) {
         self.0.pool_span(span);
         self.1.pool_span(span);
+    }
+    fn pool_gauges(&self) -> Option<std::sync::Arc<crate::par::PoolGauges>> {
+        self.0.pool_gauges().or_else(|| self.1.pool_gauges())
     }
     fn fcp_bounds(&mut self, lower: f64, upper: f64) {
         self.0.fcp_bounds(lower, upper);

@@ -39,4 +39,51 @@ run grep -q '"traceEvents"' "$profdir/trace.json"
 run grep -q '^pfcim_nodes_visited ' "$profdir/metrics.prom"
 run grep -q '^# TYPE pfcim_audit_incremental counter' "$profdir/metrics.prom"
 
+# Live-telemetry smoke: launch a deliberately slowed mine with the
+# scrape endpoint on an ephemeral port, curl /metrics, /healthz and
+# /flight while the run is still alive, render one frame of the
+# terminal dashboard against the same endpoint, and check the flight
+# recorder lands on disk. Deep validation (Prometheus linting, JSON
+# parsing, mid-run reconciliation) lives in
+# crates/bench/tests/telemetry_http.rs and the pfcim binary lints its
+# own /metrics body before serving it.
+teldir=target/telemetry-smoke
+rm -rf "$teldir"
+mkdir -p "$teldir"
+echo "==> telemetry smoke (live scrape while mining)"
+PFCIM_TELEMETRY_TEST_SLOW_NODE_US=20000 \
+    cargo run --release -q -p pfcim --bin pfcim -- "$profdir/smoke.dat" \
+    --min-sup 8 --telemetry 127.0.0.1:0 \
+    --flight-dump "$teldir/flight.jsonl" >"$teldir/run.out" 2>"$teldir/run.err" &
+telpid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*telemetry listening on http://##p' "$teldir/run.err" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$telpid" 2>/dev/null || { cat "$teldir/run.err"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "telemetry endpoint never came up"; cat "$teldir/run.err"; exit 1; }
+run curl -fsS "http://$addr/metrics" -o "$teldir/metrics.prom"
+run grep -q '^pfcim_nodes_visited ' "$teldir/metrics.prom"
+run curl -fsS "http://$addr/healthz" -o "$teldir/healthz.json"
+run grep -q '"status"' "$teldir/healthz.json"
+run curl -fsS "http://$addr/flight" -o "$teldir/flight_live.jsonl"
+run grep -q '"record"' "$teldir/flight_live.jsonl"
+run cargo run --release -q -p pfcim --bin pfcim -- top "$addr" --iterations 1
+wait "$telpid"
+run test -s "$teldir/flight.jsonl"
+run grep -q '"record":"sample"' "$teldir/flight.jsonl"
+# Crash post-mortem: an injected panic must still leave a parseable
+# flight-recorder dump behind (the panic hook writes it on the way out).
+echo "==> telemetry smoke (flight dump on panic)"
+if PFCIM_INJECT_PANIC=10 \
+    cargo run --release -q -p pfcim --bin pfcim -- "$profdir/smoke.dat" \
+    --min-sup 8 --flight-dump "$teldir/flight_panic.jsonl" \
+    --telemetry 127.0.0.1:0 >/dev/null 2>"$teldir/panic.err"; then
+    echo "injected panic did not fail the run"; exit 1
+fi
+run test -s "$teldir/flight_panic.jsonl"
+run grep -q '"record":"sample"' "$teldir/flight_panic.jsonl"
+
 echo "ci: all checks passed"

@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] [--epsilon E] [--delta D]
-//!       [--variant mpfci|bfs|naive] [--threads N] [--stats]
+//!       [--variant mpfci|bfs|naive] [--threads N] [--event-cache N] [--stats]
 //!       [--trace FILE.jsonl] [--metrics FILE.json] [--prom FILE.prom]
+//!       [--telemetry ADDR] [--flight-dump FILE.jsonl]
 //! pfcim profile <FILE.dat> --min-sup <N|R%> [--out trace.json] [--sample N]
 //!       [...same mining options...]
+//! pfcim top <ADDR> [--interval MS] [--iterations N]
 //! ```
 //!
 //! `--threads N` fans the DFS miner and `ApproxFCP` sampling out over an
 //! in-process work-stealing pool. `N = 0` — the default — picks the
 //! machine's available parallelism (overridable via the `PFCIM_THREADS`
 //! environment variable); `N = 1` is the sequential miner. Exact-mode
-//! output is identical for every thread count.
+//! output is identical for every thread count. `--event-cache N` sets the
+//! evaluator's bound-input cache capacity (default 32, overridable via
+//! `PFCIM_EVENT_CACHE`; 0 disables memoization).
 //!
 //! `--metrics` records the run through a [`HistogramSink`] and writes
 //! the resulting registry snapshot (counters mirroring the miner stats,
@@ -21,6 +25,18 @@
 //! `--prom` writes the same snapshot in the Prometheus text exposition
 //! format (counters, gauges and `summary` quantiles, all prefixed
 //! `pfcim_`), self-checked through [`lint_prometheus`] before writing.
+//!
+//! `--telemetry ADDR` attaches a live telemetry session: a background
+//! sampler snapshots the run every 100 ms into a lock-free flight
+//! recorder, and a std-only HTTP thread on `ADDR` (port 0 picks a free
+//! port; the bound address is printed to stderr as
+//! `telemetry listening on http://…`) serves `GET /metrics` (linted
+//! Prometheus text), `GET /healthz` (status, ETA, last-progress
+//! watchdog) and `GET /flight` (the recorder as JSONL) *while the run is
+//! alive*. A panic hook dumps the recorder to `--flight-dump` (default
+//! `flight.jsonl`) so a dying run leaves a post-mortem; successful runs
+//! write the same file on exit. `pfcim top ADDR` renders a refreshing
+//! terminal dashboard from any such endpoint.
 //!
 //! The `profile` subcommand attaches a [`SpanProfiler`] and writes a
 //! Chrome trace-event JSON (load it at <https://ui.perfetto.dev>) with
@@ -41,10 +57,13 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use pfcim::core::{
-    lint_prometheus, Algorithm, HistogramSink, JsonlSink, Miner, MinerConfig, SearchStrategy,
-    SpanProfiler, Tee,
+    http_get, lint_prometheus, Algorithm, HistogramSink, JsonlSink, Miner, MinerConfig, MinerSink,
+    SearchStrategy, ShardableSink, SpanProfiler, Tee, Telemetry,
 };
 use pfcim::utdb::io;
 
@@ -56,10 +75,13 @@ struct Args {
     delta: f64,
     variant: String,
     threads: Option<usize>,
+    event_cache: Option<usize>,
     stats: bool,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     prom: Option<PathBuf>,
+    telemetry: Option<String>,
+    flight_dump: Option<PathBuf>,
     profile: bool,
     out: PathBuf,
     sample: u32,
@@ -73,10 +95,13 @@ fn parse_args() -> Result<Args, String> {
     let mut delta = 0.1;
     let mut variant = "mpfci".to_owned();
     let mut threads = None;
+    let mut event_cache = None;
     let mut stats = false;
     let mut trace = None;
     let mut metrics = None;
     let mut prom = None;
+    let mut telemetry = None;
+    let mut flight_dump = None;
     let mut profile = false;
     let mut out = PathBuf::from("trace.json");
     let mut sample = 1u32;
@@ -110,10 +135,19 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("threads: {e}"))?,
                 )
             }
+            "--event-cache" => {
+                event_cache = Some(
+                    value("--event-cache")?
+                        .parse()
+                        .map_err(|e| format!("event-cache: {e}"))?,
+                )
+            }
             "--stats" => stats = true,
             "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
             "--metrics" => metrics = Some(PathBuf::from(value("--metrics")?)),
             "--prom" => prom = Some(PathBuf::from(value("--prom")?)),
+            "--telemetry" => telemetry = Some(value("--telemetry")?),
+            "--flight-dump" => flight_dump = Some(PathBuf::from(value("--flight-dump")?)),
             "--out" if profile => out = PathBuf::from(value("--out")?),
             "--sample" if profile => {
                 sample = value("--sample")?
@@ -136,17 +170,77 @@ fn parse_args() -> Result<Args, String> {
         delta,
         variant,
         threads,
+        event_cache,
         stats,
         trace,
         metrics,
         prom,
+        telemetry,
+        flight_dump,
         profile,
         out,
         sample,
     })
 }
 
+// --- test-injection sinks ---------------------------------------------
+//
+// The CI telemetry smoke needs two things a healthy miner never does on
+// purpose: run slowly enough to be scraped mid-flight, and die with a
+// panic so the flight-recorder dump can be verified. Both are injected
+// through environment variables so no public flag grows test semantics:
+// `PFCIM_TELEMETRY_TEST_SLOW_NODE_US` sleeps that many microseconds per
+// enumeration node; `PFCIM_INJECT_PANIC=N` panics at the Nth node.
+
+#[derive(Clone)]
+struct SlowNode(Duration);
+
+impl MinerSink for SlowNode {
+    fn node_entered(&mut self, _depth: usize) {
+        std::thread::sleep(self.0);
+    }
+}
+
+impl ShardableSink for SlowNode {
+    type Shard = SlowNode;
+    fn make_shard(&self) -> SlowNode {
+        self.clone()
+    }
+    fn absorb_shard(&mut self, _shard: SlowNode) {}
+}
+
+#[derive(Clone)]
+struct PanicAfter {
+    limit: u64,
+    seen: Arc<AtomicU64>,
+}
+
+impl MinerSink for PanicAfter {
+    fn node_entered(&mut self, _depth: usize) {
+        if self.seen.fetch_add(1, Ordering::Relaxed) + 1 == self.limit {
+            panic!("injected panic at node {} (PFCIM_INJECT_PANIC)", self.limit);
+        }
+    }
+}
+
+impl ShardableSink for PanicAfter {
+    type Shard = PanicAfter;
+    fn make_shard(&self) -> PanicAfter {
+        // Clones share the counter, so the Nth node panics regardless of
+        // which worker reaches it.
+        self.clone()
+    }
+    fn absorb_shard(&mut self, _shard: PanicAfter) {}
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("top") {
+        return run_top();
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -156,9 +250,11 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: pfcim <FILE.dat> --min-sup <N|R%> [--pfct P] \
                  [--epsilon E] [--delta D] [--variant mpfci|bfs|naive] [--threads N] \
-                 [--stats] [--trace FILE.jsonl] [--metrics FILE.json] [--prom FILE.prom]\n\
+                 [--event-cache N] [--stats] [--trace FILE.jsonl] [--metrics FILE.json] \
+                 [--prom FILE.prom] [--telemetry ADDR] [--flight-dump FILE.jsonl]\n\
                  \x20      pfcim profile <FILE.dat> --min-sup <N|R%> [--out trace.json] \
-                 [--sample N] [...same mining options...]"
+                 [--sample N] [...same mining options...]\n\
+                 \x20      pfcim top <ADDR> [--interval MS] [--iterations N]"
             );
             return ExitCode::from(2);
         }
@@ -201,6 +297,9 @@ fn main() -> ExitCode {
         // default (auto, overridable via PFCIM_THREADS).
         config = config.with_threads(threads);
     }
+    if let Some(capacity) = args.event_cache {
+        config = config.with_event_cache_capacity(capacity);
+    }
     match args.variant.as_str() {
         "mpfci" => {}
         "bfs" => {
@@ -232,10 +331,49 @@ fn main() -> ExitCode {
     let mut profiler = args
         .profile
         .then(|| SpanProfiler::new().with_sampling(args.sample));
+
+    // --telemetry: sampler + flight recorder + scrape endpoint + panic
+    // dump, all alive for the duration of the run.
+    let flight_path = args
+        .flight_dump
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("flight.jsonl"));
+    let telemetry = match &args.telemetry {
+        Some(addr) => {
+            let mut t = Telemetry::start();
+            match t.serve(addr) {
+                Ok(local) => eprintln!("telemetry listening on http://{local}"),
+                Err(e) => {
+                    eprintln!("error: cannot bind telemetry endpoint {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            t.install_panic_dump(&flight_path);
+            Some(t)
+        }
+        None => None,
+    };
+    let mut tel_sink = telemetry.as_ref().map(|t| t.sink());
+
+    let mut slow =
+        env_u64("PFCIM_TELEMETRY_TEST_SLOW_NODE_US").map(|us| SlowNode(Duration::from_micros(us)));
+    let mut inject_panic = env_u64("PFCIM_INJECT_PANIC")
+        .filter(|&n| n > 0)
+        .map(|n| PanicAfter {
+            limit: n,
+            seen: Arc::new(AtomicU64::new(0)),
+        });
+
     let outcome = {
         let mut sink = Tee(
-            profiler.as_mut(),
-            Tee(trace_sink.as_mut().map(|(_, s)| s), hist.as_mut()),
+            tel_sink.as_mut(),
+            Tee(
+                profiler.as_mut(),
+                Tee(
+                    trace_sink.as_mut().map(|(_, s)| s),
+                    Tee(hist.as_mut(), Tee(slow.as_mut(), inject_panic.as_mut())),
+                ),
+            ),
         );
         let algorithm = match args.variant.as_str() {
             "naive" => Algorithm::Naive,
@@ -248,6 +386,17 @@ fn main() -> ExitCode {
             .sink(&mut sink)
             .run()
     };
+    if let Some(telemetry) = &telemetry {
+        // The same dump a panic would have produced, minus the dying.
+        if let Err(e) = std::fs::write(&flight_path, telemetry.flight_jsonl()) {
+            eprintln!(
+                "error: cannot write flight recorder {}: {e}",
+                flight_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("flight recorder written to {}", flight_path.display());
+    }
     if let Some((path, sink)) = trace_sink {
         // A write failure anywhere mid-run is latched in the sink and
         // surfaces on finish; report how much trace survived and fail.
@@ -339,4 +488,158 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+// --- pfcim top --------------------------------------------------------
+
+/// Pull a string field out of a flat JSON object without a parser: the
+/// telemetry `/healthz` body is machine-generated with known keys, so a
+/// substring scan is reliable enough for a dashboard.
+fn json_str(body: &str, key: &str) -> Option<String> {
+    let tail = &body[body.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let tail = tail.strip_prefix('"')?;
+    Some(tail[..tail.find('"')?].to_owned())
+}
+
+/// Like [`json_str`] but for a bare number (returns `None` for `null`).
+fn json_num(body: &str, key: &str) -> Option<f64> {
+    let tail = &body[body.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let end = tail.find([',', '}']).unwrap_or(tail.len());
+    tail[..end].trim().parse().ok()
+}
+
+/// Parse the plain samples out of a Prometheus text body into
+/// `(name, value)` pairs (labelled samples like quantiles are skipped —
+/// the dashboard only needs the scalar families).
+fn prom_samples(body: &str) -> Vec<(String, f64)> {
+    body.lines()
+        .filter(|l| !l.starts_with('#') && !l.contains('{'))
+        .filter_map(|l| {
+            let (name, value) = l.split_once(' ')?;
+            Some((name.to_owned(), value.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+fn run_top() -> ExitCode {
+    let mut addr = None;
+    let mut interval_ms = 500u64;
+    let mut iterations = 0u64; // 0 = until the run finishes (or forever)
+    let mut argv = std::env::args().skip(2);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--interval" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => interval_ms = ms,
+                None => {
+                    eprintln!("error: --interval needs a millisecond value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--iterations" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(n) => iterations = n,
+                None => {
+                    eprintln!("error: --iterations needs a count");
+                    return ExitCode::from(2);
+                }
+            },
+            other if addr.is_none() && !other.starts_with('-') => addr = Some(other.to_owned()),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: pfcim top <ADDR> [--interval MS] [--iterations N]");
+        return ExitCode::from(2);
+    };
+    let timeout = Duration::from_secs(2);
+    let mut prev: Option<(f64, f64)> = None; // (elapsed_s, nodes)
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let health = match http_get(&addr, "/healthz", timeout) {
+            Ok((200, body)) => body,
+            Ok((status, _)) => {
+                eprintln!("error: {addr}/healthz returned HTTP {status}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: cannot reach {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let metrics = match http_get(&addr, "/metrics", timeout) {
+            Ok((200, body)) => prom_samples(&body),
+            _ => Vec::new(),
+        };
+        let metric = |name: &str| {
+            metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0)
+        };
+        let status = json_str(&health, "status").unwrap_or_else(|| "?".into());
+        let algo = json_str(&health, "algo").unwrap_or_default();
+        let elapsed = json_num(&health, "elapsed_s").unwrap_or(0.0);
+        let nodes = json_num(&health, "nodes").unwrap_or(0.0);
+        let results = json_num(&health, "results").unwrap_or(0.0);
+        let rate = match prev.replace((elapsed, nodes)) {
+            Some((t0, n0)) if elapsed > t0 => (nodes - n0) / (elapsed - t0),
+            _ => 0.0,
+        };
+        let eta = json_num(&health, "eta_s")
+            .map(|e| format!("{e:.1}s"))
+            .unwrap_or_else(|| "-".into());
+        // ANSI clear + home; plain enough for any terminal or a log file.
+        print!("\x1b[2J\x1b[H");
+        println!("pfcim top — {addr}  (tick {tick}, every {interval_ms}ms)");
+        println!();
+        println!(
+            "  {} {:10} elapsed {elapsed:8.1}s   eta {eta}",
+            match status.as_str() {
+                "ok" => "RUNNING ",
+                "finished" => "FINISHED",
+                "stalled" => "STALLED ",
+                _ => "UNKNOWN ",
+            },
+            algo,
+        );
+        println!(
+            "  nodes {nodes:>12.0}  ({rate:>10.0}/s)   results {results:>8.0}   prunes {:>10.0}",
+            metric("pfcim_prunes"),
+        );
+        println!(
+            "  pool  {:>6.0}/{:<6.0} tasks   {:.0} workers   queue {:>6.0}   steals {:>6.0}",
+            json_num(&health, "pool")
+                .or_else(|| json_num(&health, "completed"))
+                .unwrap_or(metric("pfcim_pool_completed")),
+            metric("pfcim_pool_total"),
+            metric("pfcim_pool_workers"),
+            metric("pfcim_pool_queued"),
+            metric("pfcim_pool_steals"),
+        );
+        println!(
+            "  dp    {:>10.0} incremental   {:>10.0} rebuilt   freq evals {:>10.0}",
+            metric("pfcim_dp_incremental"),
+            metric("pfcim_dp_rebuilt"),
+            metric("pfcim_freq_prob_evals"),
+        );
+        println!(
+            "  fcp   {:>10.0} exact   {:>10.0} sampled   {:>12.0} samples drawn",
+            metric("pfcim_fcp_exact"),
+            metric("pfcim_fcp_sampled"),
+            metric("pfcim_samples_drawn"),
+        );
+        println!(
+            "  last progress {:>6.1}s ago   runs finished {:>4.0}",
+            json_num(&health, "last_progress_age_s").unwrap_or(0.0),
+            metric("pfcim_runs_finished"),
+        );
+        if status == "finished" || (iterations > 0 && tick >= iterations) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
 }

@@ -103,7 +103,10 @@ fn metrics_flag_writes_registry_snapshot() {
     assert!(json.starts_with("{\"counters\":{"), "{json}");
     assert!(json.contains("\"nodes_visited\":"), "{json}");
     assert!(json.contains("\"node_depth\":{\"count\":"), "{json}");
-    assert!(json.contains("\"gauges\":{\"elapsed_s\":"), "{json}");
+    // Gauges are sorted alphabetically, so the cache-capacity gauge
+    // added alongside the hit rate now leads the object.
+    assert!(json.contains("\"elapsed_s\":"), "{json}");
+    assert!(json.contains("\"event_cache_capacity\":"), "{json}");
     std::fs::remove_file(&path).ok();
     std::fs::remove_file(&metrics).ok();
 }
