@@ -479,31 +479,38 @@ fn run_matrix(args: &RunArgs) -> Result<BenchReport, String> {
     }
     println!("\n{}", table.to_text());
     if args.smoke {
-        // The smoke matrix exists partly to keep the incremental-DP
-        // downdate path exercised in CI: the high-probability dataset is
-        // tuned (uniform [0.6, 0.9] band, absolute min_sup 3) so the
-        // amp-limit guard admits downdates. Zero here means the fast
-        // path silently died.
-        let high_prob = entries
-            .iter()
-            .find(|e| e.dataset == BenchDataset::HighProb.name() && e.algo == "MPFCI")
-            .ok_or("smoke matrix is missing the HighProb MPFCI cell")?;
-        let incremental = high_prob.audit.get("incremental").copied().unwrap_or(0);
-        if incremental == 0 {
-            return Err(format!(
-                "smoke: HighProb MPFCI cell recorded no incremental DP downdates \
-                 (audit: {:?})",
-                high_prob.audit
-            ));
-        }
-        println!(
-            "smoke: HighProb MPFCI cell exercised the incremental DP \
-             ({incremental} downdates, {} refused)",
-            ["amp_limit", "row_validation", "degenerate"]
+        // The smoke matrix keeps the incremental-DP downdate path
+        // exercised in CI. With the measured-error downdate the fast
+        // path must fire both on the tuned high-probability cell AND on
+        // a Gaussian paper-style cell — zero on either means the fast
+        // path silently died (the old a-priori amplification guard used
+        // to refuse every Gaussian downdate; that regression must not
+        // come back).
+        for (dataset, label) in [
+            (BenchDataset::HighProb.name(), "HighProb"),
+            (BenchDataset::GaussianSmall.name(), "Gaussian"),
+        ] {
+            let cell = entries
                 .iter()
-                .map(|k| high_prob.audit.get(*k).copied().unwrap_or(0))
-                .sum::<u64>(),
-        );
+                .find(|e| e.dataset == dataset && e.algo == "MPFCI")
+                .ok_or_else(|| format!("smoke matrix is missing the {dataset} MPFCI cell"))?;
+            let incremental = cell.audit.get("incremental").copied().unwrap_or(0);
+            if incremental == 0 {
+                return Err(format!(
+                    "smoke: {label} ({dataset}) MPFCI cell recorded no incremental \
+                     DP downdates (audit: {:?})",
+                    cell.audit
+                ));
+            }
+            println!(
+                "smoke: {label} ({dataset}) MPFCI cell exercised the incremental DP \
+                 ({incremental} downdates, {} refused)",
+                ["err_tol", "row_validation", "degenerate"]
+                    .iter()
+                    .map(|k| cell.audit.get(*k).copied().unwrap_or(0))
+                    .sum::<u64>(),
+            );
+        }
     }
     let telemetry = if args.telemetry_probe {
         measure_telemetry_overhead(&cells, args)?

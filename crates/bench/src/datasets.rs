@@ -145,19 +145,34 @@ pub enum BenchDataset {
     /// A sparse Quest-style base (60 items, average transaction length 4)
     /// with existential probabilities drawn uniformly from `[0.6, 0.9]`.
     ///
-    /// The uniform high band plus a *tiny* absolute `min_sup` keep every
-    /// transaction-removal downdate inside the DP amplification guard
-    /// (`(min_sup − 1) · ln(p/(1−p)) ≤ ln(1/dp_stability)`; with the
-    /// default `dp_stability = 1e-2` and `p ≤ 0.9` that bounds
-    /// `min_sup ≤ 3`), so the incremental path actually fires instead of
-    /// refusing into a fresh recomputation.
+    /// Historically this cell existed because the old a-priori
+    /// amplification guard only admitted downdates for `min_sup ≤ 3` at
+    /// `p ≤ 0.9`; the measured-error downdate now fires on Gaussian
+    /// data too (see [`BenchDataset::GaussianSmall`]), and `HighProb`
+    /// stays as a second, structurally different (uniform-band) witness
+    /// that the incremental path is alive.
     HighProb,
+    /// The same sparse Quest-style base as [`BenchDataset::HighProb`]
+    /// but under the paper's Mushroom protocol: existential
+    /// probabilities drawn from a clamped Gaussian `N(0.5, 0.5)`.
+    ///
+    /// The paper's own two cells cannot witness the incremental DP at
+    /// smoke scale for structural reasons — tiny-scale Mushroom has a
+    /// two-root search tree with no children, and Quest's children sit
+    /// so close to its large `min_sup` that the truncated head carries
+    /// most of the row's mass and every downdate's *measured* error
+    /// honestly exceeds the tolerance. This cell keeps the Gaussian
+    /// probability model (clamped `p → 0.999` clusters included) while
+    /// choosing a support level with a deep tree, so CI can assert the
+    /// downdate fires on Gaussian-distributed data rather than only on
+    /// the tuned uniform band.
+    GaussianSmall,
 }
 
 /// Row count of the [`BenchDataset::HighProb`] dataset. Fixed across
-/// [`Scale`]s: its relative `min_sup` of [`HIGHPROB_MIN_SUP_REL`] must
-/// resolve to an absolute support of 3 for the amp-guard bound above to
-/// hold, so the rows cannot grow with the scale.
+/// [`Scale`]s so its relative `min_sup` of [`HIGHPROB_MIN_SUP_REL`]
+/// always resolves to the same tiny absolute support of 3, keeping the
+/// cell's behaviour comparable across scales.
 pub const HIGHPROB_ROWS: usize = 300;
 
 /// Relative minimum support of the `HighProb` benchmark cells:
@@ -165,11 +180,13 @@ pub const HIGHPROB_ROWS: usize = 300;
 pub const HIGHPROB_MIN_SUP_REL: f64 = 0.01;
 
 impl BenchDataset {
-    /// All benchmark-matrix datasets: the paper pair, then `HighProb`.
-    pub const ALL: [BenchDataset; 3] = [
+    /// All benchmark-matrix datasets: the paper pair, then the two
+    /// downdate-witness cells.
+    pub const ALL: [BenchDataset; 4] = [
         BenchDataset::Paper(DatasetKind::Mushroom),
         BenchDataset::Paper(DatasetKind::Quest),
         BenchDataset::HighProb,
+        BenchDataset::GaussianSmall,
     ];
 
     /// Display name used in `BENCH_*.json` entry keys.
@@ -177,6 +194,7 @@ impl BenchDataset {
         match self {
             BenchDataset::Paper(kind) => kind.name(),
             BenchDataset::HighProb => "HighProbUniform",
+            BenchDataset::GaussianSmall => "GaussianSmallSup",
         }
     }
 
@@ -184,7 +202,7 @@ impl BenchDataset {
     pub fn default_min_sup_rel(self) -> f64 {
         match self {
             BenchDataset::Paper(kind) => kind.default_min_sup_rel(),
-            BenchDataset::HighProb => HIGHPROB_MIN_SUP_REL,
+            BenchDataset::HighProb | BenchDataset::GaussianSmall => HIGHPROB_MIN_SUP_REL,
         }
     }
 
@@ -195,10 +213,26 @@ impl BenchDataset {
                 let top = *kind.min_sup_grid().last().expect("non-empty grid");
                 vec![kind.default_min_sup_rel(), top]
             }
-            // A higher support would push the absolute threshold past the
-            // amp-guard bound and turn the cell into a refusal benchmark.
-            BenchDataset::HighProb => vec![HIGHPROB_MIN_SUP_REL],
+            // These cells exist to witness the downdate fast path; one
+            // support level is enough.
+            BenchDataset::HighProb | BenchDataset::GaussianSmall => vec![HIGHPROB_MIN_SUP_REL],
         }
+    }
+
+    /// The shared sparse Quest-style certain base of the two
+    /// downdate-witness cells.
+    fn small_quest_base(seed: u64) -> UncertainDatabase {
+        let cfg = QuestConfig {
+            num_transactions: HIGHPROB_ROWS,
+            avg_transaction_len: 4.0,
+            avg_pattern_len: 2.0,
+            num_items: 60,
+            num_patterns: 20,
+            correlation: 0.5,
+            corruption_mean: 0.5,
+            corruption_dev: 0.1,
+        };
+        cfg.generate(&mut SmallRng::seed_from_u64(seed))
     }
 
     /// Generate the uncertain benchmark dataset.
@@ -206,19 +240,14 @@ impl BenchDataset {
         match self {
             BenchDataset::Paper(kind) => kind.uncertain(scale, seed),
             BenchDataset::HighProb => {
-                let cfg = QuestConfig {
-                    num_transactions: HIGHPROB_ROWS,
-                    avg_transaction_len: 4.0,
-                    avg_pattern_len: 2.0,
-                    num_items: 60,
-                    num_patterns: 20,
-                    correlation: 0.5,
-                    corruption_mean: 0.5,
-                    corruption_dev: 0.1,
-                };
-                let base = cfg.generate(&mut SmallRng::seed_from_u64(seed));
+                let base = Self::small_quest_base(seed);
                 let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9);
                 assign_uniform_probabilities(&base, 0.6, 0.9, &mut rng)
+            }
+            BenchDataset::GaussianSmall => {
+                let base = Self::small_quest_base(seed);
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9);
+                assign_gaussian_probabilities(&base, 0.5, 0.5, &mut rng)
             }
         }
     }

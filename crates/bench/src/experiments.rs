@@ -485,10 +485,11 @@ pub struct BenchCell {
 /// The dataset × algorithm matrix `bench-report` runs: every algorithm
 /// on the paper's two datasets — at the dataset's default `min_sup`
 /// plus the top of its sweep grid — and on the high-probability dataset
-/// whose tiny absolute support keeps the incremental frequentness-DP
-/// downdates inside the amplification guard. `smoke` keeps only each
-/// dataset's default support level (the search does real work there at
-/// every scale) — the cheap configuration `scripts/ci.sh` gates on.
+/// whose uniform band makes incremental frequentness-DP downdates
+/// trivially cheap to verify. `smoke` keeps only each dataset's default
+/// support level (the search does real work there at every scale) — the
+/// cheap configuration `scripts/ci.sh` gates on; the smoke gate asserts
+/// `dp_incremental > 0` on both the Gaussian paper cells and `HighProb`.
 pub fn bench_cells(smoke: bool) -> Vec<BenchCell> {
     let mut cells = Vec::new();
     for dataset in BenchDataset::ALL {

@@ -106,13 +106,26 @@ pub struct MinerConfig {
     /// integer, otherwise the machine's available parallelism.
     /// `threads = 1` runs the legacy sequential path byte-identically.
     pub threads: usize,
-    /// Numerical-stability floor of the incremental frequentness DP.
-    /// Removing a transaction with probability `p` from a Poisson-binomial
-    /// tail row amplifies rounding error by up to `(p/(1-p))^(min_sup-1)`;
-    /// the downdate is refused (and the row rebuilt from scratch) whenever
-    /// that factor exceeds `1 / dp_stability`. Smaller values accept more
-    /// aggressive downdating. Must lie in `(0, 1]`.
+    /// **Deprecated knob, still honored.** Former numerical-stability
+    /// floor of the incremental frequentness DP: the downdate used to be
+    /// refused whenever the a-priori amplification factor
+    /// `(p/(1-p))^(min_sup-1)` exceeded `1 / dp_stability`. The downdate
+    /// now tracks a *measured* per-element error bound and refuses on
+    /// [`MinerConfig::dp_error_tol`] instead; a non-default
+    /// `dp_stability` is translated into an equivalent tolerance by
+    /// [`MinerConfig::effective_dp_error_tol`] so existing callers keep
+    /// their strict/loose intent. Must lie in `(0, 1]`. Prefer
+    /// [`MinerConfig::with_dp_error_tol`].
     pub dp_stability: f64,
+    /// Maximum tolerated *measured* absolute error of an incrementally
+    /// downdated frequentness-DP row (summed per-element bounds, tracked
+    /// through compensated/log-domain deconvolution). A downdate whose
+    /// projected error exceeds this refuses, and the row is rebuilt from
+    /// scratch. `0.0` accepts only provably exact downdates. Must be
+    /// finite and non-negative; defaults to
+    /// [`DEFAULT_DP_ERROR_TOL`] (`1e-9`), matching the differential
+    /// proptest's downdate-vs-rebuild agreement bound.
+    pub dp_error_tol: f64,
     /// Capacity of the evaluator's per-run bound-input (event-table)
     /// cache, keyed by tid-set fingerprint. `0` disables memoization.
     /// Defaults to the `PFCIM_EVENT_CACHE` environment variable when it
@@ -125,6 +138,14 @@ pub struct MinerConfig {
 /// Built-in default of [`MinerConfig::event_cache_capacity`] when the
 /// `PFCIM_EVENT_CACHE` environment variable is absent.
 pub const DEFAULT_EVENT_CACHE_CAPACITY: usize = 32;
+
+/// Default of [`MinerConfig::dp_error_tol`]: the incremental downdate is
+/// accepted when its measured error bound stays within `1e-9` — the same
+/// agreement threshold the downdate-vs-rebuild property test enforces.
+pub const DEFAULT_DP_ERROR_TOL: f64 = 1e-9;
+
+/// Default of [`MinerConfig::dp_stability`] (legacy knob).
+pub const DEFAULT_DP_STABILITY: f64 = 1e-2;
 
 /// Resolve the default event-cache capacity: `PFCIM_EVENT_CACHE` when it
 /// parses as a non-negative integer (`0` disables memoization), else
@@ -153,7 +174,8 @@ impl MinerConfig {
             seed: 0x05ee_dfc1,
             time_budget: None,
             threads: 0,
-            dp_stability: 1e-2,
+            dp_stability: DEFAULT_DP_STABILITY,
+            dp_error_tol: DEFAULT_DP_ERROR_TOL,
             event_cache_capacity: default_event_cache_capacity(),
         }
     }
@@ -191,11 +213,37 @@ impl MinerConfig {
         self
     }
 
-    /// Set the incremental-DP stability floor (see
-    /// [`MinerConfig::dp_stability`]).
+    /// Set the legacy incremental-DP stability floor (see
+    /// [`MinerConfig::dp_stability`]; prefer
+    /// [`MinerConfig::with_dp_error_tol`]).
     pub fn with_dp_stability(mut self, dp_stability: f64) -> Self {
         self.dp_stability = dp_stability;
         self
+    }
+
+    /// Set the measured-error tolerance of the incremental DP downdate
+    /// (see [`MinerConfig::dp_error_tol`]). `0.0` accepts only provably
+    /// exact downdates.
+    pub fn with_dp_error_tol(mut self, dp_error_tol: f64) -> Self {
+        self.dp_error_tol = dp_error_tol;
+        self
+    }
+
+    /// Resolve the error tolerance the miners actually pass to the
+    /// downdate. An explicit [`MinerConfig::dp_error_tol`] wins; when it
+    /// is left at its default but the legacy
+    /// [`MinerConfig::dp_stability`] was customized, the stability floor
+    /// is mapped onto the tolerance axis (`1e-11 / dp_stability`) so that
+    /// a stricter legacy setting still means a stricter downdate — the
+    /// identity holds at the defaults (`1e-11 / 1e-2 = 1e-9`).
+    pub fn effective_dp_error_tol(&self) -> f64 {
+        if self.dp_error_tol != DEFAULT_DP_ERROR_TOL {
+            self.dp_error_tol
+        } else if self.dp_stability != DEFAULT_DP_STABILITY {
+            1e-11 / self.dp_stability
+        } else {
+            DEFAULT_DP_ERROR_TOL
+        }
     }
 
     /// Set the evaluator's bound-input cache capacity (`0` disables; see
@@ -256,6 +304,10 @@ impl MinerConfig {
         assert!(
             self.dp_stability > 0.0 && self.dp_stability <= 1.0,
             "dp_stability must lie in (0, 1]"
+        );
+        assert!(
+            self.dp_error_tol >= 0.0 && self.dp_error_tol.is_finite(),
+            "dp_error_tol must be finite and non-negative"
         );
     }
 }
@@ -324,6 +376,7 @@ mod tests {
         assert!(c.pruning.subset);
         assert!(c.pruning.probability_bounds);
         assert_eq!(c.dp_stability, 1e-2);
+        assert_eq!(c.dp_error_tol, DEFAULT_DP_ERROR_TOL);
         assert_eq!(c.event_cache_capacity, 32);
         c.validate();
     }
@@ -332,6 +385,34 @@ mod tests {
     #[should_panic(expected = "dp_stability")]
     fn validate_rejects_nonpositive_dp_stability() {
         MinerConfig::new(2, 0.8).with_dp_stability(0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dp_error_tol")]
+    fn validate_rejects_negative_dp_error_tol() {
+        MinerConfig::new(2, 0.8).with_dp_error_tol(-1e-9).validate();
+    }
+
+    #[test]
+    fn effective_dp_error_tol_resolution() {
+        // Defaults: the identity.
+        let c = MinerConfig::new(2, 0.8);
+        assert_eq!(c.effective_dp_error_tol(), DEFAULT_DP_ERROR_TOL);
+        // An explicit tolerance wins outright.
+        let c = MinerConfig::new(2, 0.8).with_dp_error_tol(0.0);
+        assert_eq!(c.effective_dp_error_tol(), 0.0);
+        let c = MinerConfig::new(2, 0.8)
+            .with_dp_stability(1.0)
+            .with_dp_error_tol(1e-6);
+        assert_eq!(c.effective_dp_error_tol(), 1e-6);
+        // A customized legacy stability floor maps onto the tolerance
+        // axis, preserving its strict/loose intent.
+        let strict = MinerConfig::new(2, 0.8).with_dp_stability(1.0);
+        assert_eq!(strict.effective_dp_error_tol(), 1e-11);
+        let loose = MinerConfig::new(2, 0.8).with_dp_stability(1e-6);
+        let got = loose.effective_dp_error_tol();
+        assert!((got - 1e-5).abs() < 1e-6 * 1e-5, "{got}");
+        assert!(strict.effective_dp_error_tol() < loose.effective_dp_error_tol());
     }
 
     #[test]

@@ -1116,7 +1116,7 @@ mod tests {
         sink.prune_fired(PruneKind::Superset);
         sink.freq_prob_evaluated(0.75);
         sink.dp_decision(DpDecision::Incremental);
-        sink.dp_decision(DpDecision::AmpLimit { magnitude: 5.5 });
+        sink.dp_decision(DpDecision::ErrTol { measured: 5.5e-8 });
         sink.fcp_evaluated(FcpEvalKind::Sampled, 1234);
         sink.phase_end(Phase::FreqDp, Duration::from_micros(10));
         let text = sink.snapshot().to_prometheus("pfcim");
@@ -1126,7 +1126,7 @@ mod tests {
         assert!(text.contains("pfcim_nodes_visited 2"));
         // The audit counters ride along.
         assert!(text.contains("pfcim_audit_incremental 1"));
-        assert!(text.contains("pfcim_audit_amp_limit 1"));
+        assert!(text.contains("pfcim_audit_err_tol 1"));
         // Histograms export as summaries with quantile labels.
         assert!(text.contains("# TYPE pfcim_node_depth summary"));
         assert!(text.contains("pfcim_node_depth{quantile=\"0.5\"}"));

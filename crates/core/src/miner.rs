@@ -153,10 +153,18 @@ impl<'a> Miner<'a> {
         self
     }
 
-    /// Numerical-stability floor of the incremental frequentness DP (see
-    /// [`MinerConfig::dp_stability`]).
+    /// Legacy numerical-stability floor of the incremental frequentness DP
+    /// (see [`MinerConfig::dp_stability`]). Prefer
+    /// [`Miner::dp_error_tol`], which gates on a measured error bound.
     pub fn dp_stability(mut self, dp_stability: f64) -> Self {
         self.config.dp_stability = dp_stability;
+        self
+    }
+
+    /// Measured-error tolerance for incremental DP downdates (see
+    /// [`MinerConfig::dp_error_tol`]). `0.0` accepts only exact downdates.
+    pub fn dp_error_tol(mut self, dp_error_tol: f64) -> Self {
+        self.config.dp_error_tol = dp_error_tol;
         self
     }
 
@@ -321,6 +329,7 @@ mod tests {
             .time_budget(Duration::from_secs(9))
             .fcp_method(FcpMethod::ExactOnly)
             .dp_stability(0.5)
+            .dp_error_tol(1e-7)
             .event_cache_capacity(7)
             .to_config();
         assert_eq!(cfg.min_sup, 3);
@@ -331,6 +340,7 @@ mod tests {
         assert_eq!(cfg.time_budget, Some(Duration::from_secs(9)));
         assert_eq!(cfg.fcp_method, FcpMethod::ExactOnly);
         assert_eq!(cfg.dp_stability, 0.5);
+        assert_eq!(cfg.dp_error_tol, 1e-7);
         assert_eq!(cfg.event_cache_capacity, 7);
     }
 

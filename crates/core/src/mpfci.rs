@@ -25,13 +25,19 @@
 //! of per-transaction factors, so instead of rebuilding it over `T(X∪e)`
 //! from scratch, the miner *downdates* the parent's [`TailDp`] row by
 //! dividing out each dropped transaction's probability — `O(dropped ·
-//! min_sup)` instead of `O(|T(X∪e)| · min_sup)`. The division amplifies
-//! rounding by up to `(p/(1−p))^(min_sup−1)` per removal, so removals are
-//! refused (and the row rebuilt) past the [`MinerConfig::dp_stability`]
-//! floor or after `MAX_DOWNDATES` accumulated removals. The
-//! [`crate::stats::KernelStats`] counters report which path each node
-//! took. Both paths are deterministic functions of the node alone, so
-//! parallel fan-out stays bit-identical across thread counts.
+//! min_sup)` instead of `O(|T(X∪e)| · min_sup)`. Each row carries a
+//! measured per-element error bound maintained through compensated
+//! deconvolution (with a log-domain fallback for high-amplification
+//! factors — see [`TailDp::try_remove`]); a removal is refused (and the
+//! row rebuilt) only when that bound exceeds the configured tolerance
+//! ([`MinerConfig::dp_error_tol`], resolved through
+//! [`MinerConfig::effective_dp_error_tol`]) or after `MAX_DOWNDATES`
+//! accumulated removals. The [`crate::stats::KernelStats`] counters
+//! report which path each node took. Both paths are deterministic
+//! functions of the node alone, so parallel fan-out stays bit-identical
+//! across thread counts. Per-node state (tid-bitmaps, DP rows) lives in
+//! a free-list arena reset per subtree root, so steady-state enumeration
+//! allocates nothing.
 
 use std::time::Instant;
 
@@ -49,10 +55,10 @@ use crate::trace::{
 };
 
 /// Hard cap on downdates accumulated in one [`TailDp`] row before the
-/// miner forces a rebuild; bounds the worst-case accumulated rounding
-/// error of the incremental path to `≈ removals · min_sup · ε /
-/// dp_stability`, far below the `1e-9` tolerance the equivalence suites
-/// compare at.
+/// miner forces a rebuild. The row's own measured error bound already
+/// gates every removal against [`MinerConfig::dp_error_tol`], so this is
+/// a belt-and-suspenders limit on how long a chain the audit has to
+/// reason about, not the primary stability control.
 const MAX_DOWNDATES: u32 = 256;
 
 /// Mine all probabilistic frequent closed itemsets with the configured
@@ -142,6 +148,8 @@ fn mine_dfs_sequential<S: MinerSink + ?Sized>(
     let mut miner = DfsMiner {
         evaluator: Evaluator::new(db, config, sink),
         dropped: Vec::new(),
+        arena: NodeArena::default(),
+        items: Vec::new(),
         results: Vec::new(),
         deadline,
         timed_out: false,
@@ -223,6 +231,8 @@ fn mine_dfs_parallel<S: ShardableSink + ?Sized>(
             let mut miner = DfsMiner {
                 evaluator: Evaluator::new(db, &cfg, &mut shard),
                 dropped: Vec::new(),
+                arena: NodeArena::default(),
+                items: Vec::new(),
                 results: Vec::new(),
                 deadline,
                 timed_out: false,
@@ -294,11 +304,62 @@ struct NodeCtx {
     pr_f: f64,
 }
 
+/// Free-list arena for per-node DFS state: tid-bitmaps and DP rows are
+/// recycled as the enumeration backtracks instead of being reallocated
+/// at every node, and the whole pool is reset at each subtree root. The
+/// recycling kernels ([`TidBitmap::and_into`], [`TailDp::clone_from`])
+/// overwrite every word/element of a reused buffer, so recycled state
+/// never leaks into a node's result — the parallel determinism contract
+/// (bit-identical output across thread counts) is preserved.
+#[derive(Default)]
+struct NodeArena {
+    bitmaps: Vec<TidBitmap>,
+    rows: Vec<TailDp>,
+}
+
+impl NodeArena {
+    /// A bitmap buffer for `and_into` to (re)shape and fill.
+    fn take_bitmap(&mut self) -> TidBitmap {
+        self.bitmaps.pop().unwrap_or_else(|| TidBitmap::new(0))
+    }
+
+    /// A DP row with threshold `k`, ready for `clone_from` or `rebuild`.
+    fn take_dp(&mut self, k: usize) -> TailDp {
+        match self.rows.pop() {
+            Some(dp) if dp.threshold() == k => dp,
+            _ => TailDp::new(k),
+        }
+    }
+
+    /// Return a finished node's buffers to the pool.
+    fn recycle(&mut self, ctx: NodeCtx) {
+        self.bitmaps.push(ctx.tids);
+        self.rows.push(ctx.dp);
+    }
+
+    /// Return loose buffers to the pool.
+    fn recycle_parts(&mut self, tids: TidBitmap, dp: TailDp) {
+        self.bitmaps.push(tids);
+        self.rows.push(dp);
+    }
+
+    /// Drop everything — called at each subtree root so pool size stays
+    /// bounded by one subtree's depth.
+    fn reset(&mut self) {
+        self.bitmaps.clear();
+        self.rows.clear();
+    }
+}
+
 struct DfsMiner<'a, S: MinerSink + ?Sized> {
     evaluator: Evaluator<'a, S>,
     /// Scratch for the dropped transactions' probabilities at each
     /// extension step (reused across nodes, no per-node allocation).
     dropped: Vec<f64>,
+    /// Recycled per-node tid-bitmaps and DP rows (reset per root).
+    arena: NodeArena,
+    /// The current itemset prefix (reused across roots).
+    items: Vec<Item>,
     results: Vec<Pfci>,
     deadline: Option<Instant>,
     timed_out: bool,
@@ -310,9 +371,15 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
     /// sequential and the parallel driver funnel through here so the two
     /// paths perform identical per-root work.
     fn mine_root(&mut self, item: Item) {
+        self.arena.reset();
         let tids = self.evaluator.db.bitmap_of(item).clone();
         if let Some(ctx) = self.qualify_root(tids) {
-            self.process_node(&mut vec![item], &ctx);
+            let mut items = std::mem::take(&mut self.items);
+            items.clear();
+            items.push(item);
+            self.process_node(&mut items, &ctx);
+            self.items = items;
+            self.arena.recycle(ctx);
         }
     }
 
@@ -362,6 +429,7 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
         let cfg = self.evaluator.cfg;
         let count = tids.count();
         if count < cfg.min_sup {
+            self.arena.bitmaps.push(tids);
             return None;
         }
         self.dropped.clear();
@@ -371,34 +439,36 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
         self.evaluator.kernel.bitmap_words += parent.tids.word_len() as u64;
         let mut esup = (parent.esup - self.dropped.iter().sum::<f64>()).max(0.0);
         if !self.check_chernoff(esup, count) {
+            self.arena.bitmaps.push(tids);
             return None;
         }
         self.evaluator.stats.freq_prob_evals += 1;
 
         let kernel = &mut self.evaluator.kernel;
-        let min_sup = cfg.min_sup;
-        let amp_limit = 1.0 / cfg.dp_stability;
+        let tol = cfg.effective_dp_error_tol();
         let dropped = &self.dropped;
         let tids_ref = &tids;
         let esup_ref = &mut esup;
+        let mut pooled = self.arena.take_dp(cfg.min_sup);
         let (dp, decision) = timed(
             Phase::FreqDp,
             &mut self.evaluator.timers,
             &mut *self.evaluator.sink,
             || {
                 // Downdate when it is cheaper than a rebuild and every
-                // removal passes the stability rule; otherwise rebuild,
-                // recording the structured reason for the audit channel.
+                // removal's measured error bound fits the tolerance;
+                // otherwise rebuild, recording the structured reason for
+                // the audit channel.
                 let removals = dropped.len() as u32;
                 let decision = if dropped.len() >= count {
                     DpDecision::CostSkip
                 } else if parent.dp.removals() + removals > MAX_DOWNDATES {
                     DpDecision::DowndateCap
                 } else {
-                    let mut dp = parent.dp.clone();
+                    pooled.clone_from(&parent.dp);
                     let mut refusal = None;
                     for &p in dropped.iter() {
-                        if let Err(r) = dp.try_remove_explained(p, amp_limit) {
+                        if let Err(r) = pooled.try_remove_explained(p, tol) {
                             refusal = Some(r);
                             break;
                         }
@@ -406,10 +476,10 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
                     match refusal {
                         None => {
                             kernel.dp_incremental += 1;
-                            return (dp, DpDecision::Incremental);
+                            return (pooled, DpDecision::Incremental);
                         }
-                        Some(RemovalRefusal::AmpLimit { magnitude }) => {
-                            DpDecision::AmpLimit { magnitude }
+                        Some(RemovalRefusal::ErrTol { measured }) => {
+                            DpDecision::ErrTol { measured }
                         }
                         Some(RemovalRefusal::RowValidation { violation }) => {
                             DpDecision::RowValidation { violation }
@@ -420,17 +490,17 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
                     }
                 };
                 kernel.dp_recomputed += 1;
-                let mut dp = TailDp::new(min_sup);
+                pooled.rebuild(std::iter::empty());
                 let mut fresh_esup = 0.0;
                 for tid in tids_ref.iter() {
                     let p = db.probability(tid);
                     fresh_esup += p;
-                    dp.push(p);
+                    pooled.push(p);
                 }
                 // The rebuild touches every remaining probability anyway:
                 // refresh the expected support to stop incremental drift.
                 *esup_ref = fresh_esup;
-                (dp, decision)
+                (pooled, decision)
             },
         );
         self.evaluator.audit.record(decision);
@@ -469,6 +539,7 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
         if pr_f <= cfg.pfct {
             self.evaluator.stats.freq_pruned += 1;
             self.evaluator.sink.prune_fired(PruneKind::FreqProb);
+            self.arena.recycle_parts(tids, dp);
             return None;
         }
         Some(NodeCtx {
@@ -534,7 +605,8 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
                 continue; // qualification would reject it without a DP
             }
             self.evaluator.kernel.bitmap_words += words;
-            let child_tids = ctx.tids.and(db.bitmap_of(ext));
+            let mut child_tids = self.arena.take_bitmap();
+            ctx.tids.and_into(db.bitmap_of(ext), &mut child_tids);
             if carries_support {
                 // X∪ext always accompanies X: X is never closed, and the
                 // remaining sibling subtrees (which cannot contain `ext`)
@@ -544,21 +616,25 @@ impl<S: MinerSink + ?Sized> DfsMiner<'_, S> {
                 x_closed = false;
                 // T(X∪ext) = T(X): tid-set, DP row, expected support and
                 // frequent probability all carry over unchanged.
+                let mut dp = self.arena.take_dp(cfg.min_sup);
+                dp.clone_from(&ctx.dp);
                 let child_ctx = NodeCtx {
                     tids: child_tids,
-                    dp: ctx.dp.clone(),
+                    dp,
                     esup: ctx.esup,
                     pr_f: ctx.pr_f,
                 };
                 items.push(ext);
                 self.process_node(items, &child_ctx);
                 items.pop();
+                self.arena.recycle(child_ctx);
                 break;
             }
             if let Some(child_ctx) = self.qualify_child(ctx, child_tids) {
                 items.push(ext);
                 self.process_node(items, &child_ctx);
                 items.pop();
+                self.arena.recycle(child_ctx);
             }
         }
 
@@ -682,21 +758,45 @@ mod tests {
 
     #[test]
     fn incremental_dp_matches_forced_recompute_exactly() {
-        // dp_stability = 1 refuses every downdate with p > 0.5 and
-        // max-limits the rest; dp_stability = 1e-2 (default) accepts most.
-        // The mined probabilities must agree to well under the suite's
-        // 1e-9 tolerance either way.
+        // dp_error_tol = 0 accepts only provably exact downdates, forcing
+        // rebuilds everywhere else; the default 1e-9 accepts most. The
+        // mined probabilities must agree to well under the suite's 1e-9
+        // tolerance either way.
         let db = table4();
         let base = MinerConfig::new(2, 0.6).with_fcp_method(crate::config::FcpMethod::ExactOnly);
         let incremental = dfs(&db, &base);
-        let rebuilt = dfs(&db, &base.clone().with_dp_stability(1.0));
+        let rebuilt = dfs(&db, &base.clone().with_dp_error_tol(0.0));
         assert!(incremental.kernel.dp_incremental > 0);
         assert!(rebuilt.kernel.dp_recomputed >= incremental.kernel.dp_recomputed);
+        assert!(
+            rebuilt.audit.err_tol > 0,
+            "zero tolerance must refuse inexact downdates: {}",
+            rebuilt.audit
+        );
         assert_eq!(incremental.itemsets(), rebuilt.itemsets());
         for (a, b) in incremental.results.iter().zip(&rebuilt.results) {
             assert!((a.frequent_probability - b.frequent_probability).abs() < 1e-12);
             assert!((a.fcp - b.fcp).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn legacy_dp_stability_knob_still_gates() {
+        // The deprecated dp_stability knob maps onto the tolerance axis
+        // (strict 1.0 → 1e-11, loose 1e-6 → 1e-5); the result set must be
+        // identical across the whole sweep.
+        let db = table4();
+        let base = MinerConfig::new(2, 0.6).with_fcp_method(crate::config::FcpMethod::ExactOnly);
+        let reference = dfs(&db, &base);
+        for stability in [1.0, 1e-2, 1e-6] {
+            let out = dfs(&db, &base.clone().with_dp_stability(stability));
+            assert_eq!(out.itemsets(), reference.itemsets(), "{stability}");
+        }
+        // An explicit dp_error_tol overrides the legacy knob.
+        let cfg = base.clone().with_dp_stability(1e-6).with_dp_error_tol(0.0);
+        assert_eq!(cfg.effective_dp_error_tol(), 0.0);
+        let out = dfs(&db, &cfg);
+        assert_eq!(out.itemsets(), reference.itemsets());
     }
 
     #[test]

@@ -163,8 +163,8 @@ impl fmt::Display for KernelStats {
 /// [`DpAudit::recomputed`] equals `dp_recomputed` (the differential
 /// tests assert both). This is the machine-readable answer to "why is
 /// `dp_incremental` 0 on this dataset": the refusal mix says whether the
-/// amp-limit guard, a row-validation failure, the downdate cap or plain
-/// cost accounting forced each rebuild.
+/// measured error-tolerance guard, a row-validation failure, the
+/// downdate cap or plain cost accounting forced each rebuild.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DpAudit {
     /// Rows derived by downdating the parent row (the fast path).
@@ -180,8 +180,9 @@ pub struct DpAudit {
     /// Rebuilds because the parent row had accumulated `MAX_DOWNDATES`
     /// removals.
     pub downdate_cap: u64,
-    /// Downdates refused by the `dp_stability` amplification guard.
-    pub amp_limit: u64,
+    /// Downdates refused because the measured error bound of the
+    /// downdated row exceeded `dp_error_tol`.
+    pub err_tol: u64,
     /// Downdates refused because a divided-out row left the valid
     /// probability range.
     pub row_validation: u64,
@@ -199,7 +200,7 @@ impl DpAudit {
             DpDecision::FreshLevel => self.fresh_level += 1,
             DpDecision::CostSkip => self.cost_skip += 1,
             DpDecision::DowndateCap => self.downdate_cap += 1,
-            DpDecision::AmpLimit { .. } => self.amp_limit += 1,
+            DpDecision::ErrTol { .. } => self.err_tol += 1,
             DpDecision::RowValidation { .. } => self.row_validation += 1,
             DpDecision::Degenerate => self.degenerate += 1,
         }
@@ -212,7 +213,7 @@ impl DpAudit {
             + self.fresh_level
             + self.cost_skip
             + self.downdate_cap
-            + self.amp_limit
+            + self.err_tol
             + self.row_validation
             + self.degenerate
     }
@@ -220,7 +221,7 @@ impl DpAudit {
     /// Rebuilds caused by a *refused* downdate (as opposed to roots or
     /// cost/cap accounting).
     pub fn refusals(&self) -> u64 {
-        self.amp_limit + self.row_validation + self.degenerate
+        self.err_tol + self.row_validation + self.degenerate
     }
 
     /// Total decisions recorded — reconciles with
@@ -236,7 +237,7 @@ impl DpAudit {
         self.fresh_level += other.fresh_level;
         self.cost_skip += other.cost_skip;
         self.downdate_cap += other.downdate_cap;
-        self.amp_limit += other.amp_limit;
+        self.err_tol += other.err_tol;
         self.row_validation += other.row_validation;
         self.degenerate += other.degenerate;
     }
@@ -251,7 +252,7 @@ impl DpAudit {
             ("fresh_level", self.fresh_level),
             ("cost_skip", self.cost_skip),
             ("downdate_cap", self.downdate_cap),
-            ("amp_limit", self.amp_limit),
+            ("err_tol", self.err_tol),
             ("row_validation", self.row_validation),
             ("degenerate", self.degenerate),
         ]
@@ -262,13 +263,13 @@ impl fmt::Display for DpAudit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "inc={} root={} level={} cost={} cap={} amp={} row={} degen={}",
+            "inc={} root={} level={} cost={} cap={} err={} row={} degen={}",
             self.incremental,
             self.fresh_root,
             self.fresh_level,
             self.cost_skip,
             self.downdate_cap,
-            self.amp_limit,
+            self.err_tol,
             self.row_validation,
             self.degenerate,
         )
@@ -405,7 +406,7 @@ mod tests {
         audit.record(DpDecision::FreshLevel);
         audit.record(DpDecision::CostSkip);
         audit.record(DpDecision::DowndateCap);
-        audit.record(DpDecision::AmpLimit { magnitude: 3.2 });
+        audit.record(DpDecision::ErrTol { measured: 3.2e-8 });
         audit.record(DpDecision::RowValidation { violation: 0.1 });
         audit.record(DpDecision::Degenerate);
         assert_eq!(audit.incremental, 1);
@@ -423,7 +424,7 @@ mod tests {
         assert_eq!(sum.total(), 16);
         assert_eq!(sum.refusals(), 6);
         let s = audit.to_string();
-        assert!(s.contains("amp=1"), "{s}");
+        assert!(s.contains("err=1"), "{s}");
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! {"ev":"node","depth":1}
 //! {"ev":"prune","kind":"superset"}
 //! {"ev":"freq_prob","pr_f":0.9985}
-//! {"ev":"dp_decision","reason":"amp_limit","magnitude":5.2}
+//! {"ev":"dp_decision","reason":"err_tol","magnitude":5.2e-8}
 //! {"ev":"fcp_bounds","lower":0.85,"upper":0.92}
 //! {"ev":"fcp_eval","method":"sampled","samples":59915}
 //! {"ev":"result","items":[0,1,2],"fcp":0.8754}
@@ -46,7 +46,7 @@
 //! `bound_decided`}; `phase` ∈ {`freq_dp`, `ch_bound`, `event_build`,
 //! `bound_eval`, `fcp_exact`, `fcp_sample`}; `dp_decision.reason` ∈
 //! {`incremental`, `fresh_root`, `fresh_level`, `cost_skip`,
-//! `downdate_cap`, `amp_limit`, `row_validation`, `degenerate`}, with
+//! `downdate_cap`, `err_tol`, `row_validation`, `degenerate`}, with
 //! `magnitude` present only for the two refusal reasons that carry one
 //! (see [`DpDecision`]). Floats use Rust's shortest
 //! round-trip rendering, so parsing a trace back recovers the exact
@@ -189,13 +189,13 @@ pub enum DpDecision {
     CostSkip,
     /// The parent row had accumulated the maximum number of downdates.
     DowndateCap,
-    /// A removal was refused by the `dp_stability` amplification guard;
-    /// `magnitude` is the estimated error amplification in decades
-    /// (`log10`), so a histogram of magnitudes shows how far past the
-    /// limit refused removals land.
-    AmpLimit {
-        /// `(min_sup − 1) · log10(p / (1 − p))` of the refused removal.
-        magnitude: f64,
+    /// A removal was refused because the *measured* error bound of the
+    /// downdated row exceeded the configured `dp_error_tol`; `measured`
+    /// is that bound, so a histogram of measured errors shows how far
+    /// past the tolerance refused removals land.
+    ErrTol {
+        /// Projected absolute error of the refused downdate's row.
+        measured: f64,
     },
     /// A removal was refused because a divided-out DP row left `[0, 1]`;
     /// `violation` is how far outside the range it landed.
@@ -216,7 +216,7 @@ impl DpDecision {
             DpDecision::FreshLevel => "fresh_level",
             DpDecision::CostSkip => "cost_skip",
             DpDecision::DowndateCap => "downdate_cap",
-            DpDecision::AmpLimit { .. } => "amp_limit",
+            DpDecision::ErrTol { .. } => "err_tol",
             DpDecision::RowValidation { .. } => "row_validation",
             DpDecision::Degenerate => "degenerate",
         }
@@ -225,7 +225,7 @@ impl DpDecision {
     /// The refusal magnitude, for the reasons that carry one.
     pub fn magnitude(self) -> Option<f64> {
         match self {
-            DpDecision::AmpLimit { magnitude } => Some(magnitude),
+            DpDecision::ErrTol { measured } => Some(measured),
             DpDecision::RowValidation { violation } => Some(violation),
             _ => None,
         }
@@ -241,8 +241,8 @@ impl DpDecision {
             "fresh_level" => DpDecision::FreshLevel,
             "cost_skip" => DpDecision::CostSkip,
             "downdate_cap" => DpDecision::DowndateCap,
-            "amp_limit" => DpDecision::AmpLimit {
-                magnitude: magnitude.unwrap_or(0.0),
+            "err_tol" => DpDecision::ErrTol {
+                measured: magnitude.unwrap_or(0.0),
             },
             "row_validation" => DpDecision::RowValidation {
                 violation: magnitude.unwrap_or(0.0),
@@ -1451,7 +1451,7 @@ mod tests {
                 decision: DpDecision::Incremental,
             },
             TraceEvent::DpDecision {
-                decision: DpDecision::AmpLimit { magnitude: 5.25 },
+                decision: DpDecision::ErrTol { measured: 5.25e-8 },
             },
             TraceEvent::DpDecision {
                 decision: DpDecision::RowValidation { violation: 0.125 },
@@ -1535,7 +1535,7 @@ mod tests {
             DpDecision::FreshLevel,
             DpDecision::CostSkip,
             DpDecision::DowndateCap,
-            DpDecision::AmpLimit { magnitude: 2.5 },
+            DpDecision::ErrTol { measured: 2.5e-8 },
             DpDecision::RowValidation { violation: 0.75 },
             DpDecision::Degenerate,
         ] {
@@ -1552,7 +1552,7 @@ mod tests {
         live.node_entered(1);
         live.freq_prob_evaluated(0.9985);
         live.dp_decision(DpDecision::Incremental);
-        live.dp_decision(DpDecision::AmpLimit { magnitude: 5.25 });
+        live.dp_decision(DpDecision::ErrTol { measured: 5.25e-8 });
         live.dp_decision(DpDecision::RowValidation { violation: 0.125 });
         live.prune_fired(PruneKind::Superset);
         live.fcp_bounds(0.85, 0.925);
@@ -1674,8 +1674,8 @@ mod tests {
             6 => sink.result_emitted(&[Item(u32::from(code))], 0.5),
             7 => sink.dp_decision(match code % 3 {
                 0 => DpDecision::Incremental,
-                1 => DpDecision::AmpLimit {
-                    magnitude: f64::from(code) / 16.0,
+                1 => DpDecision::ErrTol {
+                    measured: f64::from(code) / 16.0,
                 },
                 _ => DpDecision::DowndateCap,
             }),

@@ -191,15 +191,22 @@ pub enum RemovalRefusal {
     /// `q = 1 − p` is below machine epsilon: the deconvolution would
     /// divide by (effectively) zero.
     Degenerate,
-    /// The estimated rounding-error amplification `max(1, p/q)^(k−1)`
-    /// exceeds the caller's limit.
-    AmpLimit {
-        /// `log10` of the estimated amplification factor — how many
-        /// decimal digits of precision the downdate would burn.
-        magnitude: f64,
+    /// The *measured* error bound of the downdated row exceeds the
+    /// caller's tolerance, even after the log-domain fallback — a
+    /// per-element accounting of rounding at the magnitudes actually
+    /// encountered, not an a-priori `(p/q)^(k−1)` worst case.
+    ErrTol {
+        /// The projected absolute error of the downdated tail (the
+        /// per-element bounds summed); compare against the `tol` the
+        /// caller passed to [`TailDp::try_remove`]. When the fallback
+        /// bails out early — the partial sum alone already exceeds the
+        /// tolerance — this is a lower bound on the full total (still
+        /// strictly above `tol`, which is all a refusal asserts).
+        measured: f64,
     },
     /// A recovered head entry fell outside `[0, 1]` beyond rounding
-    /// tolerance, or the recovered head mass exceeded one.
+    /// tolerance plus its tracked error bound, or the recovered head
+    /// mass exceeded one.
     RowValidation {
         /// How far outside the valid range the worst entry (or the head
         /// sum) landed; always positive.
@@ -213,17 +220,17 @@ impl RemovalRefusal {
         match self {
             RemovalRefusal::Empty => "empty",
             RemovalRefusal::Degenerate => "degenerate",
-            RemovalRefusal::AmpLimit { .. } => "amp_limit",
+            RemovalRefusal::ErrTol { .. } => "err_tol",
             RemovalRefusal::RowValidation { .. } => "row_validation",
         }
     }
 
-    /// The refusal's magnitude, when the class carries one: decimal
-    /// digits of amplification for [`RemovalRefusal::AmpLimit`], range
-    /// excess for [`RemovalRefusal::RowValidation`].
+    /// The refusal's magnitude, when the class carries one: the measured
+    /// error bound for [`RemovalRefusal::ErrTol`], range excess for
+    /// [`RemovalRefusal::RowValidation`].
     pub fn magnitude(&self) -> Option<f64> {
         match self {
-            RemovalRefusal::AmpLimit { magnitude } => Some(*magnitude),
+            RemovalRefusal::ErrTol { measured } => Some(*measured),
             RemovalRefusal::RowValidation { violation } => Some(*violation),
             RemovalRefusal::Empty | RemovalRefusal::Degenerate => None,
         }
@@ -244,14 +251,21 @@ impl RemovalRefusal {
 ///
 /// # Numerical stability
 ///
-/// Removal runs the forward recurrence `f[j] = (g[j] − f[j−1]·p) / q`
-/// with `q = 1 − p`, whose rounding error is amplified by roughly
-/// `max(1, p/q)^(k−1)` across the row. [`TailDp::try_remove`] refuses
-/// the division (returning `false`, leaving the caller to recompute)
-/// when that estimate exceeds the caller's `amp_limit`, when `q` is
-/// degenerate, or when the resulting row fails validation. On a refused
-/// or failed removal the row contents are unspecified — downdate a clone
-/// and keep the parent row authoritative.
+/// Removal runs the forward deconvolution `f[j] = (g[j] − f[j−1]·p) / q`
+/// with `q = 1 − p`, whose rounding error is amplified by up to
+/// `(p/q)^(k−1)` across the row *in the worst case*. Rather than refuse
+/// on that a-priori bound, the row tracks a per-element error bound
+/// (maintained through [`TailDp::push`] and every accepted removal) at
+/// the magnitudes actually encountered. The removal is computed with
+/// compensated (Neumaier) accumulation into a staging buffer; when the
+/// projected error still exceeds the caller's `tol` and `p > q`, the
+/// risky elements are recomputed by log-domain deconvolution (the
+/// explicit alternating series, max-rescaled and Kahan-summed), which
+/// survives amplification factors far beyond `f64` range and measures
+/// the true term magnitudes. Only if the measured bound *still* exceeds
+/// `tol` is the removal refused. On a refused removal the row is
+/// untouched (commit-on-success); the caller may keep using it or
+/// rebuild.
 ///
 /// # Examples
 ///
@@ -263,17 +277,71 @@ impl RemovalRefusal {
 /// }
 /// assert!((dp.tail() - 0.9726).abs() < 1e-12);
 /// // Divide the 0.6 trial back out: Pr{sup ≥ 2} of {0.9, 0.7, 0.9}.
-/// assert!(dp.try_remove(0.6, 1e4));
+/// assert!(dp.try_remove(0.6, 1e-9));
 /// let direct = prob::poisson_binomial::tail_at_least(&[0.9, 0.7, 0.9], 2);
 /// assert!((dp.tail() - direct).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct TailDp {
     /// `head[j] = Pr{ S = j }` for `j < k`.
     head: Vec<f64>,
+    /// Per-element upper bound on `|head[j] − exact|`. Maintained
+    /// explicitly only once a removal has touched the row
+    /// (`err_tracked`); pure push chains carry the closed-form relative
+    /// bound `2·(trials+1)·ε·head[j]` implicitly instead, so the hot
+    /// build path pays nothing for error accounting.
+    err: Vec<f64>,
+    /// Whether `err` is explicitly maintained. `false` means the row is
+    /// a pure push chain and `err` is all zeros; the implicit bound is
+    /// materialized by the first removal attempt.
+    err_tracked: bool,
     k: usize,
     trials: usize,
     removals: u32,
+    /// Staging buffers for the commit-on-success downdate; contents are
+    /// meaningless between calls and excluded from `Clone`/`PartialEq`.
+    scratch: Vec<f64>,
+    scratch_err: Vec<f64>,
+    /// Per-removal cache of `ln(head[i]) − ln(q)` (NaN for zero entries),
+    /// shared by every risky element the log-domain fallback recomputes.
+    scratch_ln: Vec<f64>,
+}
+
+impl Clone for TailDp {
+    fn clone(&self) -> Self {
+        Self {
+            head: self.head.clone(),
+            err: self.err.clone(),
+            err_tracked: self.err_tracked,
+            k: self.k,
+            trials: self.trials,
+            removals: self.removals,
+            // Staging state is per-call scratch; clones start cold.
+            scratch: Vec::new(),
+            scratch_err: Vec::new(),
+            scratch_ln: Vec::new(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.head.clone_from(&source.head);
+        self.err.clone_from(&source.err);
+        self.err_tracked = source.err_tracked;
+        self.k = source.k;
+        self.trials = source.trials;
+        self.removals = source.removals;
+    }
+}
+
+impl PartialEq for TailDp {
+    /// Semantic equality: the distribution row and its bookkeeping; error
+    /// bounds and staging buffers are excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.trials == other.trials
+            && self.removals == other.removals
+            && self.head == other.head
+    }
 }
 
 impl TailDp {
@@ -285,9 +353,14 @@ impl TailDp {
         }
         Self {
             head,
+            err: vec![0.0; k],
+            err_tracked: false,
             k,
             trials: 0,
             removals: 0,
+            scratch: Vec::new(),
+            scratch_err: Vec::new(),
+            scratch_ln: Vec::new(),
         }
     }
 
@@ -307,6 +380,8 @@ impl TailDp {
         if let Some(first) = self.head.first_mut() {
             *first = 1.0;
         }
+        self.err.fill(0.0);
+        self.err_tracked = false;
         self.trials = 0;
         self.removals = 0;
         for p in probs {
@@ -335,6 +410,25 @@ impl TailDp {
         &self.head
     }
 
+    /// Upper bound on the absolute error of [`TailDp::tail`] accumulated
+    /// by pushes and accepted downdates — the measured quantity that
+    /// [`TailDp::try_remove`]'s `tol` is compared against.
+    pub fn error_bound(&self) -> f64 {
+        if self.err_tracked {
+            self.err.iter().sum()
+        } else {
+            self.implicit_err_scale() * self.head.iter().map(|h| h.abs()).sum::<f64>()
+        }
+    }
+
+    /// Per-element error bounds on `|head[j] − exact|`, aligned with
+    /// [`TailDp::head`]. Materializes the closed-form push-chain bound
+    /// if no removal has touched the row yet.
+    pub fn element_errors(&mut self) -> &[f64] {
+        self.materialize_err();
+        &self.err
+    }
+
     /// Absorb one more Bernoulli trial in `O(min(trials, k))`.
     ///
     /// # Panics
@@ -350,40 +444,85 @@ impl TailDp {
             // Occupancy before this trial is min(trials, k-1); one trial
             // can raise it by one.
             let top = (self.trials + 1).min(self.k - 1);
-            for j in (1..=top).rev() {
-                self.head[j] = self.head[j] * q + self.head[j - 1] * p;
+            if self.err_tracked {
+                // A removal has touched the row: maintain the explicit
+                // bounds. The convex combination mixes the inherited
+                // bounds the same way, plus ~2 ulps of rounding at the
+                // result's own magnitude (so exactly-zero entries stay
+                // exactly zero).
+                for j in (1..=top).rev() {
+                    let h = self.head[j] * q + self.head[j - 1] * p;
+                    self.err[j] = self.err[j] * q + self.err[j - 1] * p + 2.0 * f64::EPSILON * h;
+                    self.head[j] = h;
+                }
+                self.head[0] *= q;
+                self.err[0] = self.err[0] * q + f64::EPSILON * self.head[0];
+            } else {
+                // Pure push chain: the error is bounded in closed form by
+                // `2·(trials+1)·ε·head[j]` (each push adds ≤ 2 ulps at the
+                // element's own magnitude and mixes bounds convexly), so
+                // the hot build path skips explicit accounting entirely —
+                // [`TailDp::implicit_err_scale`] recovers the bound when a
+                // removal first needs it.
+                for j in (1..=top).rev() {
+                    self.head[j] = self.head[j] * q + self.head[j - 1] * p;
+                }
+                self.head[0] *= q;
             }
-            self.head[0] *= q;
         }
         self.trials += 1;
     }
 
-    /// Divide one Bernoulli trial back out of the row in `O(k)`.
+    /// Per-element relative error factor of a pure push chain: each of
+    /// the `trials` convolution steps contributes at most 2 ulps at the
+    /// element's own magnitude, mixed convexly (the `+1` absorbs the
+    /// O(ε²) cross terms conservatively). Only meaningful while
+    /// `err_tracked` is `false`.
+    fn implicit_err_scale(&self) -> f64 {
+        2.0 * (self.trials as f64 + 1.0) * f64::EPSILON
+    }
+
+    /// Switch the row from the implicit closed-form bound to explicit
+    /// per-element tracking (idempotent; called by the first removal).
+    fn materialize_err(&mut self) {
+        if self.err_tracked {
+            return;
+        }
+        let scale = self.implicit_err_scale();
+        for (e, h) in self.err.iter_mut().zip(&self.head) {
+            *e = scale * h.abs();
+        }
+        self.err_tracked = true;
+    }
+
+    /// Divide one Bernoulli trial back out of the row in `O(k)` (plus an
+    /// `O(k²)` log-domain pass for elements the plain sweep cannot
+    /// certify within `tol`).
     ///
-    /// Returns `false` — leaving the row in an unspecified state, see the
-    /// type docs — when the estimated error amplification
-    /// `max(1, p/q)^(k−1)` exceeds `amp_limit`, when `q = 1 − p` is
-    /// degenerate, or when the recovered row fails validation (an entry
-    /// outside `[0, 1]` beyond rounding tolerance). The trial must be one
-    /// that was previously absorbed; removing anything else yields a row
-    /// for "some" trial multiset only if validation happens to pass.
+    /// Returns `false` — leaving the row *untouched* — when the measured
+    /// error bound of the downdated row would exceed `tol`, when
+    /// `q = 1 − p` is degenerate, or when the recovered row fails
+    /// validation (an entry outside `[0, 1]` beyond rounding tolerance).
+    /// The trial must be one that was previously absorbed; removing
+    /// anything else yields a row for "some" trial multiset only if
+    /// validation happens to pass.
     ///
     /// # Panics
     ///
     /// Panics if `p` lies outside `[0, 1]`.
-    pub fn try_remove(&mut self, p: f64, amp_limit: f64) -> bool {
-        self.try_remove_explained(p, amp_limit).is_ok()
+    pub fn try_remove(&mut self, p: f64, tol: f64) -> bool {
+        self.try_remove_explained(p, tol).is_ok()
     }
 
     /// As [`TailDp::try_remove`], but a refusal reports *which* guard
-    /// fired (and by how much) as a [`RemovalRefusal`]. The row-state
-    /// contract is identical: on `Err` the row contents are unspecified —
-    /// downdate a clone and keep the parent row authoritative.
+    /// fired (and by how much) as a [`RemovalRefusal`]. On `Err` the row
+    /// is untouched — the downdate is staged in scratch buffers and only
+    /// committed on success.
     ///
     /// # Panics
     ///
     /// Panics if `p` lies outside `[0, 1]`.
-    pub fn try_remove_explained(&mut self, p: f64, amp_limit: f64) -> Result<(), RemovalRefusal> {
+    pub fn try_remove_explained(&mut self, p: f64, tol: f64) -> Result<(), RemovalRefusal> {
         assert!(
             (0.0..=1.0).contains(&p),
             "Bernoulli probability {p} outside [0, 1]"
@@ -400,35 +539,221 @@ impl TailDp {
         if q < f64::EPSILON {
             return Err(RemovalRefusal::Degenerate);
         }
-        let ratio = p / q;
-        if ratio > 1.0 && (self.k as f64 - 1.0) * ratio.ln() > amp_limit.ln() {
-            return Err(RemovalRefusal::AmpLimit {
-                // log10(amplification) = (k−1)·log10(p/q).
-                magnitude: (self.k as f64 - 1.0) * ratio.log10(),
+        // From here on the row needs per-element bounds: convert the
+        // implicit push-chain bound into the explicit vector (a no-op on
+        // rows a removal has already touched; semantically neutral even
+        // if this attempt ends up refused).
+        self.materialize_err();
+        let inv_q = 1.0 / q;
+        let eps = f64::EPSILON;
+
+        // Stage the candidate row in the scratch buffers; `head`/`err`
+        // stay authoritative until the whole downdate is accepted.
+        self.scratch.resize(self.k, 0.0);
+        self.scratch_err.resize(self.k, 0.0);
+
+        // Plain pass — compensated forward deconvolution. `g = push(f, p)`
+        // inverts to `f[j] = (g[j] − f[j−1]·p) / q`, ascending. A Neumaier
+        // two-sum keeps the residual of the cancellation-prone subtraction
+        // and carries it (scaled) into the next step, while `scratch_err`
+        // accumulates an upper bound on each element's absolute error from
+        // the operand magnitudes actually encountered.
+        let mut prev = 0.0f64; // f[j−1]
+        let mut carry = 0.0f64; // compensation on prev
+        let mut prev_err = 0.0f64;
+        for j in 0..self.k {
+            let g = self.head[j];
+            let t = p * prev;
+            let tc = p * carry;
+            // Two-sum: s + e == g − t exactly.
+            let s = g - t;
+            let e = if g.abs() >= t.abs() {
+                (g - s) - t
+            } else {
+                (-t - s) + g
+            };
+            let c2 = e - tc;
+            let num = s + c2;
+            let r2 = if s.abs() >= c2.abs() {
+                (s - num) + c2
+            } else {
+                (c2 - num) + s
+            };
+            let f = num * inv_q;
+            carry = r2 * inv_q;
+            // Inherited error amplified by the recurrence, plus local
+            // rounding at the actual magnitudes (conservative: the
+            // compensation above typically does better).
+            let err_j =
+                (self.err[j] + p * prev_err) * inv_q + eps * (t.abs() * inv_q + 2.0 * f.abs());
+            self.scratch[j] = f;
+            self.scratch_err[j] = err_j;
+            prev = f;
+            prev_err = err_j;
+        }
+
+        let ratio = p * inv_q;
+        let mut total_err: f64 = self.scratch_err.iter().sum();
+        if !total_err.is_finite() {
+            // Overflow/NaN from extreme amplification must read as "error
+            // too large", never as "fits".
+            total_err = f64::MAX;
+        }
+        if total_err > tol && ratio > 1.0 {
+            // Log-domain fallback for the risky tail. The plain sweep's
+            // bound compounds through its own intermediates; the explicit
+            // alternating series
+            //   f[j] = Σ_{i≤j} (−1)^{j−i} · r^{j−i} · g[i] / q
+            // computes each element directly from the (clean) head, in
+            // log space so amplification factors beyond f64 range neither
+            // overflow nor hide the true term magnitudes. Elements the
+            // plain pass already certified within their share of `tol`
+            // keep their values ("stable head"); only the risky ones are
+            // recomputed.
+            let budget = tol / self.k as f64;
+            let ln_r = ratio.ln();
+            let ln_q = q.ln();
+            // Log-head cache shared by every risky element this removal
+            // recomputes: `ln(head[i]) − ln(q)` for positive entries, NaN
+            // for zeros (which contribute nothing to the series). `lo` is
+            // the first nonzero entry, bounding every inner sweep.
+            self.scratch_ln.resize(self.k, f64::NAN);
+            let mut lo = self.k;
+            for i in 0..self.k {
+                let g = self.head[i];
+                self.scratch_ln[i] = if g > 0.0 {
+                    if lo == self.k {
+                        lo = i;
+                    }
+                    g.ln() - ln_q
+                } else {
+                    f64::NAN
+                };
+            }
+            // `committed` is the partial sum of *final* per-element bounds
+            // in ascending `j` (kept-stable elements keep the plain pass's
+            // bound, risky ones their recomputed bound). Every bound is
+            // nonnegative, so the moment it exceeds `tol` no completion of
+            // the remaining elements can rescue the removal — refuse with
+            // the partial sum as the (lower-bound) measurement instead of
+            // paying the O(k) series for every remaining risky element.
+            let mut committed = 0.0f64;
+            for j in 0..self.k {
+                if self.scratch_err[j] > budget {
+                    // Each g[i] feeds f[j] with weight r^(j−i)/q, so the
+                    // row's tracked input errors amplify with the same
+                    // weights. Sweep `i` descending with an incrementally
+                    // maintained weight (no `powi` per term); the partial
+                    // sum is monotone, so crossing `tol` mid-loop already
+                    // decides refusal, and zero entries are skipped so an
+                    // overflowed weight never manufactures a NaN.
+                    let mut inherited = 0.0f64;
+                    let mut weight = inv_q;
+                    for i in (0..=j).rev() {
+                        let e = self.err[i];
+                        if e > 0.0 {
+                            inherited += e * weight;
+                            if inherited > tol {
+                                break;
+                            }
+                        }
+                        weight *= ratio;
+                    }
+                    if inherited > tol {
+                        return Err(RemovalRefusal::ErrTol {
+                            measured: committed + inherited,
+                        });
+                    }
+                    // `lo..=j` is empty when every entry up to `j` is zero.
+                    let mut m = f64::NEG_INFINITY;
+                    for i in lo..=j {
+                        let l = (j - i) as f64 * ln_r + self.scratch_ln[i];
+                        // NaN (zero head entry) compares false and skips.
+                        if l > m {
+                            m = l;
+                        }
+                    }
+                    let (f, local) = if m == f64::NEG_INFINITY {
+                        // Every contributing head entry is exactly zero, so
+                        // the recovered element is exactly zero too.
+                        (0.0, 0.0)
+                    } else if m > 700.0 {
+                        // The largest term exceeds ~1e304 while the result is
+                        // a probability: cancellation beyond measurement.
+                        (0.0, f64::MAX)
+                    } else {
+                        // Max-rescaled, Kahan-summed evaluation; the measured
+                        // bound charges each term its log-space rounding at
+                        // the term's actual magnitude.
+                        let scale = m.exp();
+                        let mut sum = 0.0f64;
+                        let mut comp = 0.0f64;
+                        let mut weighted = 0.0f64;
+                        for i in lo..=j {
+                            let lg = self.scratch_ln[i];
+                            if lg.is_nan() {
+                                continue;
+                            }
+                            let l = (j - i) as f64 * ln_r + lg;
+                            let mag = (l - m).exp();
+                            let term = if (j - i) % 2 == 0 { mag } else { -mag };
+                            let t2 = sum + term;
+                            comp += if sum.abs() >= term.abs() {
+                                (sum - t2) + term
+                            } else {
+                                (term - t2) + sum
+                            };
+                            sum = t2;
+                            weighted += mag * (l.abs() + 4.0);
+                        }
+                        ((sum + comp) * scale, eps * weighted * scale)
+                    };
+                    self.scratch[j] = f;
+                    self.scratch_err[j] = inherited + local;
+                }
+                committed += self.scratch_err[j];
+                if committed > tol {
+                    return Err(RemovalRefusal::ErrTol {
+                        measured: committed,
+                    });
+                }
+            }
+            // The loop summed every final element bound, so the committed
+            // partial sum *is* the total (a NaN anywhere poisons it and
+            // must read as "error too large", never as "fits").
+            total_err = committed;
+            if !total_err.is_finite() {
+                total_err = f64::MAX;
+            }
+        }
+
+        if total_err > tol {
+            return Err(RemovalRefusal::ErrTol {
+                measured: total_err,
             });
         }
-        // Forward deconvolution: g = push(f, p) inverts to
-        // f[j] = (g[j] − f[j−1]·p) / q, computed ascending in place (the
-        // old g[j] is still unread when f[j] is written).
-        let mut prev = 0.0f64;
+
+        // Validate and clamp the staged row, then commit it atomically.
         let mut sum = 0.0f64;
         for j in 0..self.k {
-            let mut f = (self.head[j] - prev * p) / q;
-            if !(-DOWNDATE_NEG_TOL..=1.0 + DOWNDATE_NEG_TOL).contains(&f) {
+            let f = self.scratch[j];
+            let slack = DOWNDATE_NEG_TOL + self.scratch_err[j];
+            if !(-slack..=1.0 + slack).contains(&f) {
                 return Err(RemovalRefusal::RowValidation {
-                    violation: if f < 0.0 { -f } else { f - 1.0 },
+                    violation: (-f).max(f - 1.0).max(0.0),
                 });
             }
-            f = f.clamp(0.0, 1.0);
-            self.head[j] = f;
-            prev = f;
+            let f = f.clamp(0.0, 1.0);
+            self.scratch[j] = f;
             sum += f;
         }
-        if sum > 1.0 + DOWNDATE_NEG_TOL {
+        if sum > 1.0 + DOWNDATE_NEG_TOL + total_err {
             return Err(RemovalRefusal::RowValidation {
                 violation: sum - 1.0,
             });
         }
+        std::mem::swap(&mut self.head, &mut self.scratch);
+        std::mem::swap(&mut self.err, &mut self.scratch_err);
         self.trials -= 1;
         self.removals += 1;
         Ok(())
@@ -613,8 +938,8 @@ mod tests {
         for k in 1..=4 {
             let mut dp = TailDp::from_probs(k, probs.iter().copied());
             // Remove in a different order than insertion.
-            assert!(dp.try_remove(0.5, 1e4));
-            assert!(dp.try_remove(0.4, 1e4));
+            assert!(dp.try_remove(0.5, 1e-9));
+            assert!(dp.try_remove(0.4, 1e-9));
             let direct = tail_at_least(&[0.25, 0.1, 0.45], k);
             assert!(
                 (dp.tail() - direct).abs() < 1e-10,
@@ -627,17 +952,57 @@ mod tests {
     }
 
     #[test]
-    fn tail_dp_refuses_unstable_removals() {
-        // q below machine epsilon is degenerate.
+    fn tail_dp_measured_tolerance_gates_removals() {
+        // q below machine epsilon is degenerate no matter the tolerance.
         let mut dp = TailDp::from_probs(2, [1.0, 0.5, 0.5]);
-        assert!(!dp.try_remove(1.0, 1e12));
-        // Amplification (p/q)^(k-1) beyond the limit is refused for high
-        // thresholds but fine for k = 2.
+        assert!(!dp.try_remove(1.0, 1.0));
+        // The old a-priori cutoff refused this downdate outright
+        // ((p/q)^(k−1) = 9^19 amplification); the measured bound sees the
+        // head mass decay outpaces the amplification and accepts it.
         let probs = vec![0.9; 30];
         let mut wide = TailDp::from_probs(20, probs.iter().copied());
-        assert!(!wide.try_remove(0.9, 100.0), "9^19 >> 100");
+        assert!(wide.try_remove(0.9, 1e-9), "measured error fits 1e-9");
+        let direct = tail_at_least(&[0.9; 29], 20);
+        assert!(
+            (wide.tail() - direct).abs() < 1e-9,
+            "{} vs {direct}",
+            wide.tail()
+        );
+        // Zero tolerance refuses anything with a nonzero error bound.
+        let mut strict = TailDp::from_probs(20, probs.iter().copied());
+        assert!(!strict.try_remove(0.9, 0.0));
         let mut narrow = TailDp::from_probs(2, probs.iter().copied());
-        assert!(narrow.try_remove(0.9, 100.0), "9^1 <= 100");
+        assert!(narrow.try_remove(0.9, 1e-9));
+    }
+
+    #[test]
+    fn tail_dp_refusal_leaves_row_untouched() {
+        // Commit-on-success: a refused removal must not perturb the row.
+        let mut dp = TailDp::from_probs(20, vec![0.9; 30]);
+        let before_head = dp.head().to_vec();
+        let before_tail = dp.tail();
+        assert!(!dp.try_remove(0.9, 0.0));
+        assert_eq!(dp.head(), &before_head[..]);
+        assert_eq!(dp.tail().to_bits(), before_tail.to_bits());
+        assert_eq!(dp.trials(), 30);
+        assert_eq!(dp.removals(), 0);
+        // The row still works afterwards.
+        assert!(dp.try_remove(0.9, 1e-9));
+        assert_eq!(dp.trials(), 29);
+    }
+
+    #[test]
+    fn tail_dp_zero_head_rows_downdate_exactly() {
+        // High-probability rows underflow the truncated head to exact
+        // zeros; the downdate is then exact and accepted even at tol = 0.
+        // (This is the regime the old amplification guard refused
+        // wholesale despite the arithmetic being error-free.)
+        let mut dp = TailDp::from_probs(10, std::iter::repeat_n(0.999, 400));
+        assert_eq!(dp.tail(), 1.0);
+        assert_eq!(dp.error_bound(), 0.0);
+        assert!(dp.try_remove(0.999, 0.0), "zero-head downdate is exact");
+        assert_eq!(dp.trials(), 399);
+        assert_eq!(dp.tail(), 1.0);
     }
 
     #[test]
@@ -645,31 +1010,29 @@ mod tests {
         // Empty row.
         let mut dp = TailDp::new(2);
         assert_eq!(
-            dp.try_remove_explained(0.5, 1e4),
+            dp.try_remove_explained(0.5, 1e-9),
             Err(RemovalRefusal::Empty)
         );
         // Degenerate q.
         let mut dp = TailDp::from_probs(2, [1.0, 0.5, 0.5]);
         assert_eq!(
-            dp.try_remove_explained(1.0, 1e12),
+            dp.try_remove_explained(1.0, 1e-9),
             Err(RemovalRefusal::Degenerate)
         );
-        // Amplification guard, with the log10 overshoot attached:
-        // (k−1)·log10(p/q) = 19·log10(9) ≈ 18.1 decimal digits.
-        let probs = vec![0.9; 30];
-        let mut wide = TailDp::from_probs(20, probs.iter().copied());
-        match wide.try_remove_explained(0.9, 100.0) {
-            Err(RemovalRefusal::AmpLimit { magnitude }) => {
-                assert!(
-                    (magnitude - 19.0 * 9.0f64.log10()).abs() < 1e-9,
-                    "{magnitude}"
-                );
+        // Error-tolerance guard: at tol = 0 any nonzero measured bound
+        // refuses, and the bound itself is reported (small here — the
+        // default 1e-9 tolerance accepts this same removal).
+        let mut wide = TailDp::from_probs(20, vec![0.9; 30]);
+        match wide.try_remove_explained(0.9, 0.0) {
+            Err(RemovalRefusal::ErrTol { measured }) => {
+                assert!(measured > 0.0, "{measured}");
+                assert!(measured < 1e-9, "{measured}");
             }
-            other => panic!("expected amp-limit refusal, got {other:?}"),
+            other => panic!("expected err-tol refusal, got {other:?}"),
         }
         // Removing a trial that was never absorbed trips row validation.
         let mut dp = TailDp::from_probs(3, [0.1, 0.1, 0.1, 0.1]);
-        match dp.try_remove_explained(0.45, 1e9) {
+        match dp.try_remove_explained(0.45, 1e-9) {
             Err(RemovalRefusal::RowValidation { violation }) => assert!(violation > 0.0),
             other => panic!("expected row-validation refusal, got {other:?}"),
         }
@@ -677,8 +1040,12 @@ mod tests {
         assert_eq!(RemovalRefusal::Empty.reason(), "empty");
         assert_eq!(RemovalRefusal::Degenerate.reason(), "degenerate");
         assert_eq!(
-            RemovalRefusal::AmpLimit { magnitude: 2.0 }.reason(),
-            "amp_limit"
+            RemovalRefusal::ErrTol { measured: 2e-8 }.reason(),
+            "err_tol"
+        );
+        assert_eq!(
+            RemovalRefusal::ErrTol { measured: 2e-8 }.magnitude(),
+            Some(2e-8)
         );
         assert_eq!(
             RemovalRefusal::RowValidation { violation: 0.5 }.magnitude(),
@@ -693,8 +1060,8 @@ mod tests {
         assert_eq!(dp.tail(), 1.0);
         dp.push(0.3);
         assert_eq!(dp.tail(), 1.0);
-        assert!(dp.try_remove(0.3, 1e4));
-        assert!(!dp.try_remove(0.3, 1e4), "no trials left");
+        assert!(dp.try_remove(0.3, 1e-9));
+        assert!(!dp.try_remove(0.3, 1e-9), "no trials left");
 
         let dp = TailDp::new(3);
         assert_eq!(dp.tail(), 0.0, "fewer trials than threshold");
@@ -703,7 +1070,7 @@ mod tests {
     #[test]
     fn tail_dp_rebuild_resets_removal_count() {
         let mut dp = TailDp::from_probs(2, [0.3, 0.4]);
-        assert!(dp.try_remove(0.3, 1e4));
+        assert!(dp.try_remove(0.3, 1e-9));
         dp.rebuild([0.3, 0.4, 0.5]);
         assert_eq!(dp.removals(), 0);
         assert_eq!(dp.trials(), 3);
@@ -727,25 +1094,56 @@ mod tests {
 /// The incremental-downdate contract the miner relies on: for arbitrary
 /// probability vectors and removal subsets, either [`TailDp::try_remove`]
 /// succeeds and the downdated row's tail matches a full recompute over
-/// the survivors within `1e-9`, or it refuses and a rebuild restores the
-/// same answer. Removals are driven on a clone, exactly as
-/// `qualify_child` does, so a refusal never corrupts live state.
+/// the survivors within the tolerance, or it refuses — leaving the row
+/// untouched — and a rebuild restores the same answer. Probability mixes
+/// cover quantized-uniform, Gaussian-like, p→1.0 clusters and alternating
+/// tiny/huge entries, with thresholds up to `k = 64`.
 #[cfg(test)]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
 
-    /// (probabilities, threshold k, indices to remove): probabilities are
-    /// quantized to keep the generator's shrink space small while still
-    /// covering near-0 / near-1 entries that stress the deconvolution.
+    /// (probabilities, threshold k, indices to remove). A regime
+    /// discriminant selects one of four probability mixes; values stay
+    /// quantized so failures print reproducibly.
     fn dp_case() -> impl Strategy<Value = (Vec<f64>, usize, Vec<usize>)> {
         (
-            proptest::collection::vec(0u32..=1000, 1..24),
-            0usize..6,
-            proptest::collection::vec(0usize..24, 0..12),
+            0u32..4,
+            proptest::collection::vec(0u32..=1000, 1..40),
+            0usize..65,
+            proptest::collection::vec(0usize..64, 0..12),
         )
-            .prop_map(|(raw, k, picks)| {
-                let probs: Vec<f64> = raw.iter().map(|&q| f64::from(q) / 1000.0).collect();
+            .prop_map(|(regime, raw, k, picks)| {
+                let probs: Vec<f64> = raw
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &u)| {
+                        let x = f64::from(u) / 1000.0;
+                        match regime {
+                            // Quantized uniform over [0, 1].
+                            0 => x,
+                            // Gaussian-like hump around 0.5 (Irwin–Hall:
+                            // mean of four co-prime-quantized uniforms).
+                            1 => {
+                                let y = f64::from(u % 701) / 700.0
+                                    + f64::from(u % 311) / 310.0
+                                    + f64::from(u % 97) / 96.0
+                                    + x;
+                                (y / 4.0).clamp(0.0, 1.0)
+                            }
+                            // p → 1.0 cluster (includes exactly 1.0).
+                            2 => 0.95 + x / 20.0,
+                            // Alternating tiny / huge.
+                            _ => {
+                                if i % 2 == 0 {
+                                    x / 1000.0
+                                } else {
+                                    0.999 + x / 1000.0
+                                }
+                            }
+                        }
+                    })
+                    .collect();
                 let mut drop: Vec<usize> = picks.iter().map(|&i| i % probs.len()).collect();
                 drop.sort_unstable();
                 drop.dedup();
@@ -768,17 +1166,19 @@ mod proptests {
                 .collect();
             let full = tail_at_least(&survivors, k);
 
-            // The miner's default stability floor (dp_stability = 1e-2).
-            let amp_limit = 100.0;
+            // The miner's default error tolerance (dp_error_tol = 1e-9).
+            let tol = 1e-9;
             let mut dp = parent.clone();
-            if drop.iter().all(|&i| dp.try_remove(probs[i], amp_limit)) {
+            if drop.iter().all(|&i| dp.try_remove(probs[i], tol)) {
                 prop_assert!(
-                    (dp.tail() - full).abs() < 1e-9,
+                    (dp.tail() - full).abs() <= 1e-9 * full.abs().max(1.0),
                     "downdate {} vs recompute {} (k={}, dropped {} of {})",
                     dp.tail(), full, k, drop.len(), probs.len()
                 );
                 prop_assert_eq!(dp.trials(), survivors.len());
                 prop_assert_eq!(dp.removals(), drop.len() as u32);
+                // An accepted chain keeps its own bound within tolerance.
+                prop_assert!(dp.error_bound() <= tol * 1.0000001);
             } else {
                 // Refusal path: the fallback rebuild must reproduce the
                 // exact answer (the clone shields the parent row).
@@ -793,18 +1193,48 @@ mod proptests {
         }
 
         #[test]
-        fn tight_amp_limit_forces_refusal_not_corruption(case in dp_case()) {
+        fn remove_then_readd_round_trips(case in dp_case()) {
             let (probs, k, drop) = case;
-            if k < 2 || drop.is_empty() {
+            let parent = TailDp::from_probs(k, probs.iter().copied());
+            let mut dp = parent.clone();
+            if !drop.iter().all(|&i| dp.try_remove(probs[i], 1e-9)) {
                 return Ok(());
             }
-            // amp_limit = 1 refuses every removal whose amplification
-            // factor exceeds 1, i.e. any p > q; pick one such entry.
-            let Some(&i) = drop.iter().find(|&&i| probs[i] > 0.5 && probs[i] < 1.0) else {
+            for &i in &drop {
+                dp.push(probs[i]);
+            }
+            prop_assert_eq!(dp.trials(), probs.len());
+            prop_assert!(
+                (dp.tail() - parent.tail()).abs() <= 1e-9 * parent.tail().abs().max(1.0),
+                "readd {} vs parent {} (k={}, {} removed)",
+                dp.tail(), parent.tail(), k, drop.len()
+            );
+        }
+
+        #[test]
+        fn zero_tolerance_accepts_only_exact_downdates(case in dp_case()) {
+            let (probs, k, drop) = case;
+            if drop.is_empty() {
                 return Ok(());
-            };
+            }
+            let survivors: Vec<f64> = probs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !drop.contains(i))
+                .map(|(_, &p)| p)
+                .collect();
             let mut dp = TailDp::from_probs(k, probs.iter().copied());
-            prop_assert!(!dp.try_remove(probs[i], 1.0));
+            if drop.iter().all(|&i| dp.try_remove(probs[i], 0.0)) {
+                // tol = 0 admits only downdates whose tracked error is
+                // exactly zero — the result must match a rebuild to
+                // machine precision.
+                let full = tail_at_least(&survivors, k);
+                prop_assert!(
+                    (dp.tail() - full).abs() < 1e-12,
+                    "{} vs {full} (k={k})",
+                    dp.tail()
+                );
+            }
         }
     }
 }

@@ -16,6 +16,10 @@ run cargo test --workspace -q
 # Threads matrix: re-run the workspace suite with the differential
 # tests pinned to an explicit sequential + parallel worker pair.
 run env PFCIM_TEST_THREADS=1,4 cargo test --workspace -q
+# Tolerance sweep: strict/default/loose dp_error_tol plus the legacy
+# dp_stability spellings must mine identical result sets on a larger
+# Gaussian database than the default in-test size exercises.
+run env PFCIM_SWEEP_ROWS=200 cargo test --release -q -p pfcim --test dp_tol_sweep
 run cargo test -p pfcim-core --features track-alloc -q
 run cargo check --benches --workspace
 # Rustdoc must build clean: broken intra-doc links and malformed

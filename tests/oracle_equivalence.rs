@@ -150,6 +150,98 @@ fn results_never_include_subthreshold_itemsets() {
     }
 }
 
+/// Brute-force possible-world probability that at least `k` of the
+/// transactions containing `x` exist, enumerating all `2^n` worlds of
+/// the *whole* database (not just the containing rows) so the oracle is
+/// independent of the Poisson-binomial factorisation the DP relies on.
+fn world_enumeration_tail(db: &UncertainDatabase, x: Item, k: usize) -> f64 {
+    let rows = db.transactions();
+    let n = rows.len();
+    assert!(n <= 12, "world enumeration is 2^n");
+    let mut total = 0.0;
+    for world in 0u32..(1 << n) {
+        let mut prob = 1.0;
+        let mut sup = 0usize;
+        for (t, row) in rows.iter().enumerate() {
+            if world & (1 << t) != 0 {
+                prob *= row.probability();
+                if row.items().contains(&x) {
+                    sup += 1;
+                }
+            } else {
+                prob *= 1.0 - row.probability();
+            }
+        }
+        if sup >= k {
+            total += prob;
+        }
+    }
+    total
+}
+
+#[test]
+fn tail_dp_matches_possible_world_enumeration() {
+    // Differential oracle for the frequentness DP itself: on databases
+    // small enough for exhaustive world enumeration, both a freshly
+    // rebuilt `TailDp` row and a row *downdated* from a superset must
+    // agree with the 2^n oracle to within the advertised tolerance.
+    use pfcim::prob::TailDp;
+
+    let tol = 1e-9;
+    let mut downdates_accepted = 0u32;
+    for seed in 200..212 {
+        let db = random_utdb(seed, 10, 5, 0.5);
+        let all_probs: Vec<f64> = (0..db.len()).map(|t| db.probability(t)).collect();
+        for item in 0..5u32 {
+            let x = Item(item);
+            let containing: Vec<f64> = db
+                .transactions()
+                .iter()
+                .filter(|row| row.items().contains(&x))
+                .map(|row| row.probability())
+                .collect();
+            for k in 1..=4usize {
+                let oracle = world_enumeration_tail(&db, x, k);
+
+                // Rebuilt row.
+                let rebuilt = TailDp::from_probs(k, containing.iter().copied());
+                assert!(
+                    (rebuilt.tail() - oracle).abs() <= 1e-9,
+                    "seed={seed} item={item} k={k}: rebuilt {} vs oracle {oracle}",
+                    rebuilt.tail()
+                );
+
+                // Downdated row: start from the superset row over ALL
+                // transactions and remove the ones not containing `x` —
+                // exactly what the miner's child-node downdate does.
+                let mut dp = TailDp::from_probs(k, all_probs.iter().copied());
+                let mut ok = true;
+                for row in db.transactions() {
+                    if !row.items().contains(&x) && !dp.try_remove(row.probability(), tol) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    downdates_accepted += 1;
+                    assert!(
+                        (dp.tail() - oracle).abs() <= tol,
+                        "seed={seed} item={item} k={k}: downdated {} vs oracle {oracle} \
+                         (measured err bound {})",
+                        dp.tail(),
+                        dp.error_bound()
+                    );
+                }
+            }
+        }
+    }
+    // The battery is pointless if the downdate path never fires.
+    assert!(
+        downdates_accepted > 100,
+        "only {downdates_accepted} downdate chains accepted at tol={tol}"
+    );
+}
+
 #[test]
 fn timed_out_runs_return_sound_subsets() {
     let db = random_utdb(99, 12, 8, 0.5);
